@@ -1,0 +1,153 @@
+"""D3 — Traffic forecasting enables safe overbooking (ref [4]).
+
+Demo claim: "by monitoring past slices traffic behaviors, our
+orchestrator forecasts future traffic demands".  We compare the
+forecaster family on synthetic diurnal-plus-noise traces (the canonical
+mobile-traffic shape) and validate quantile coverage.
+
+Expected shape: Holt-Winters / AR beat naive and moving-average on MAE;
+the 95% quantile forecast covers ≥ ~90% of next-step truths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.forecasting import (
+    ArForecaster,
+    EnsembleForecaster,
+    HoltWintersForecaster,
+    MovingAverageForecaster,
+    NaiveForecaster,
+    evaluate_forecaster,
+)
+
+from benchmarks.conftest import emit_table
+
+SAMPLES_PER_DAY = 48  # 30-minute epochs
+
+
+def diurnal_trace(n_days: int = 6, noise: float = 4.0, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_days * SAMPLES_PER_DAY)
+    base = 30 + 20 * np.sin(2 * np.pi * t / SAMPLES_PER_DAY)
+    return np.clip(base + rng.normal(0, noise, t.size), 0, None)
+
+
+FORECASTERS = {
+    "naive": lambda: NaiveForecaster(),
+    "moving-avg": lambda: MovingAverageForecaster(window=12),
+    "ar(8)": lambda: ArForecaster(order=8),
+    "holt-winters": lambda: HoltWintersForecaster(season_length=SAMPLES_PER_DAY),
+    "ensemble": lambda: EnsembleForecaster(
+        members=[
+            NaiveForecaster(),
+            MovingAverageForecaster(window=12),
+            ArForecaster(order=8),
+            HoltWintersForecaster(season_length=SAMPLES_PER_DAY),
+        ]
+    ),
+}
+
+
+def coverage_95(factory, trace: np.ndarray) -> float:
+    """Fraction of next-step truths below the 95% quantile forecast."""
+    split = int(trace.size * 0.6)
+    covered = total = 0
+    forecaster = factory()
+    for origin in range(split, trace.size - 1):
+        forecaster.fit(trace[:origin])
+        if trace[origin] <= forecaster.forecast_quantile(1, 0.95):
+            covered += 1
+        total += 1
+    return covered / total
+
+
+def test_d3_forecaster_comparison(benchmark):
+    rows = []
+    maes = {}
+    for seed in (0, 1):
+        trace = diurnal_trace(seed=seed)
+        for name, factory in FORECASTERS.items():
+            metrics = evaluate_forecaster(factory(), trace)
+            maes.setdefault(name, []).append(metrics["mae"])
+            if seed == 0:
+                rows.append(
+                    [
+                        name,
+                        metrics["mae"],
+                        metrics["rmse"],
+                        metrics["mape"],
+                        coverage_95(factory, trace),
+                    ]
+                )
+    emit_table(
+        "D3",
+        "forecaster accuracy on diurnal traces (1-step rolling origin)",
+        ["forecaster", "mae", "rmse", "mape", "coverage@q95"],
+        rows,
+    )
+    mean_mae = {name: float(np.mean(values)) for name, values in maes.items()}
+    # Seasonal/autoregressive models beat the baselines on diurnal data.
+    assert mean_mae["holt-winters"] < mean_mae["naive"]
+    assert mean_mae["holt-winters"] < mean_mae["moving-avg"]
+    assert mean_mae["ar(8)"] < mean_mae["moving-avg"]
+    # The ensemble is never worse than the best baseline.
+    assert mean_mae["ensemble"] <= mean_mae["naive"] + 1e-9
+    # Quantile coverage honest to its nominal level.
+    for row in rows:
+        assert row[4] >= 0.85, row[0]
+    # Timed kernel: one Holt-Winters refit + forecast (the per-slice
+    # reconfiguration cost inside the orchestrator loop).
+    trace = diurnal_trace(seed=3)
+    forecaster = HoltWintersForecaster(season_length=SAMPLES_PER_DAY)
+    benchmark(lambda: forecaster.fit(trace).forecast_quantile(1, 0.95))
+
+
+def test_d3_ar_fit_kernel(benchmark):
+    trace = diurnal_trace(seed=5)
+    forecaster = ArForecaster(order=8)
+    benchmark(lambda: forecaster.fit(trace).forecast(1))
+
+
+def test_d3b_city_trace_forecasting(benchmark):
+    """Same comparison on the synthetic Milan-grid city traces that stand
+    in for ref [4]'s proprietary operator dataset: weekly structure,
+    lognormal noise and flash events — a harder, more realistic target
+    than the clean sinusoid of D3."""
+    from repro.traffic.traces import SyntheticCityTrace
+
+    rows = []
+    maes = {}
+    for land_use in ("office", "residential", "transport"):
+        trace = SyntheticCityTrace(land_use, noise_sigma=0.12).generate(
+            n_days=7,
+            sample_period_s=1_800.0,  # 48 samples/day
+            rng=np.random.default_rng(17),
+        )
+        for name, factory in FORECASTERS.items():
+            metrics = evaluate_forecaster(factory(), trace)
+            maes.setdefault(name, []).append(metrics["mae"])
+            rows.append([land_use, name, metrics["mae"], metrics["rmse"]])
+    emit_table(
+        "D3b",
+        "forecaster accuracy on synthetic city traces (7 days, 30 min epochs)",
+        ["land_use", "forecaster", "mae", "rmse"],
+        rows,
+    )
+    mean_mae = {name: float(np.mean(values)) for name, values in maes.items()}
+    # On smooth 30-min city traces persistence is a strong baseline; the
+    # honest claims are (i) autoregression at least matches it and (ii)
+    # the auto-selecting ensemble never regresses below the best member
+    # — which is exactly why the orchestrator defaults to selection
+    # rather than a fixed seasonal model.
+    assert mean_mae["ar(8)"] <= mean_mae["naive"] * 1.1
+    assert mean_mae["ensemble"] <= mean_mae["naive"] + 1e-9
+    assert mean_mae["ensemble"] <= mean_mae["holt-winters"] + 1e-9
+    # Timed kernel: generating one week of city trace.
+    generator = SyntheticCityTrace("residential")
+    benchmark(
+        lambda: generator.generate(
+            n_days=7, sample_period_s=1_800.0, rng=np.random.default_rng(3)
+        )
+    )

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_dN_*.py`` regenerates one demo-derived experiment (see
+DESIGN.md §3): it sweeps the experiment's parameter, prints the result
+table, persists it under ``benchmarks/results/`` (the numbers quoted in
+EXPERIMENTS.md), and feeds a representative kernel to pytest-benchmark
+for timing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    experiment_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Format, print and persist one experiment table."""
+    from repro.dashboard.reports import format_table
+
+    table = f"== {experiment_id}: {title} ==\n" + format_table(headers, rows)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(table + "\n")
+    return table

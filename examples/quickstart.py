@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: build the demo testbed, request a slice, watch it serve.
+
+Reproduces the simplest path through the SIGCOMM'18 demo: one tenant
+requests an end-to-end slice through the orchestrator, the slice is
+admitted, deployed across RAN / transport / cloud, UEs attach to its
+PLMN, and the control dashboard shows the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.core.overbooking import ForecastOverbooking
+from repro.core.slices import SLA, ServiceType, SliceRequest
+from repro.dashboard.dashboard import Dashboard
+from repro.experiments.testbed import build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.patterns import DiurnalProfile
+
+
+def main() -> None:
+    # 1. Build the Fig. 2 testbed: 2 eNBs, mmWave/µwave transport,
+    #    OpenFlow switch, edge + core OpenStack-style datacenters.
+    testbed = build_testbed()
+    sim = Simulator()
+    orchestrator = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        overbooking=ForecastOverbooking(quantile=0.95),
+        config=OrchestratorConfig(simulate_ues=True, max_ues_per_slice=5),
+        streams=RandomStreams(seed=42),
+    )
+    orchestrator.start()
+
+    # 2. Request a slice — the same fields the demo dashboard exposes:
+    #    duration, max latency, expected throughput, price, penalty.
+    request = SliceRequest(
+        tenant_id="streamco",
+        service_type=ServiceType.EMBB,
+        sla=SLA(
+            throughput_mbps=25.0,
+            max_latency_ms=50.0,
+            duration_s=2 * 3_600.0,
+            availability=0.95,
+        ),
+        price=50.0,
+        penalty_rate=0.5,
+        n_users=5,
+    )
+    profile = DiurnalProfile(peak_mbps=25.0, base=0.2, noise_std=0.05)
+    decision = orchestrator.submit(request, profile)
+    print(f"admission decision: admitted={decision.admitted} ({decision.reason})\n")
+
+    # 3. Let the simulated network run for 30 minutes.
+    sim.run_until(1_800.0)
+
+    # 4. Inspect what happened.
+    slice_id = request.request_id.replace("req-", "slice-")
+    network_slice = orchestrator.slice(slice_id)
+    allocation = network_slice.allocation
+    print(f"slice {slice_id}: state={network_slice.state.value}, PLMN={network_slice.plmn}")
+    print(
+        f"  RAN: {allocation.ran.effective_prbs}/{allocation.ran.nominal_prbs} PRBs "
+        f"on {allocation.ran.enb_id}"
+    )
+    print(
+        f"  transport: {' -> '.join(allocation.transport.path.link_ids)} "
+        f"({allocation.transport.delay_ms:.1f} ms)"
+    )
+    print(
+        f"  cloud: vEPC stack {allocation.cloud.stack_id} in {allocation.cloud.dc_id} "
+        f"({allocation.cloud.vcpus} vCPUs)"
+    )
+    print(f"  end-to-end latency: {allocation.total_latency_ms:.1f} ms "
+          f"(SLA bound {request.sla.max_latency_ms:.0f} ms)")
+    runtime = orchestrator.runtime(slice_id)
+    attached = sum(1 for ue in runtime.ues if ue.attached)
+    print(f"  UEs attached to PLMN {network_slice.plmn}: {attached}/{len(runtime.ues)}\n")
+
+    # 5. The control dashboard (what the demo projects on screen).
+    print(Dashboard(orchestrator).render())
+
+
+if __name__ == "__main__":
+    main()

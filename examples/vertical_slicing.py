@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Vertical-industry scenario: automotive and e-health share one network.
+
+The paper's introduction motivates slicing with vertical industries
+"such as automotive, e-health".  This example runs both verticals side
+by side for a simulated day and shows the properties each one buys:
+
+- every slice lands in the cheapest datacenter that meets its latency
+  budget (the core here: its 11.5 ms end-to-end path fits even the
+  automotive SLAs, preserving scarce edge capacity for sub-10 ms URLLC),
+- the e-health slices (steady telemetry) get overbooked hardest —
+  their flat ~40% load is the easiest to forecast,
+- all slices keep their violation ratios inside the SLA availability.
+
+Run:  python examples/vertical_slicing.py
+"""
+
+from __future__ import annotations
+
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.core.overbooking import ForecastOverbooking
+from repro.core.slices import ServiceType
+from repro.dashboard.reports import format_table
+from repro.experiments.testbed import build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.verticals import vertical_for
+
+
+def main() -> None:
+    testbed = build_testbed()
+    sim = Simulator()
+    streams = RandomStreams(seed=7)
+    orchestrator = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        overbooking=ForecastOverbooking(quantile=0.95),
+        config=OrchestratorConfig(
+            monitoring_epoch_s=300.0,  # 5-minute epochs for a day-long run
+            reconfig_every_epochs=6,
+            min_history_for_forecast=12,
+        ),
+        streams=streams,
+    )
+    orchestrator.start()
+
+    # Two automotive and two e-health slices, drawn from the vertical
+    # presets, each lasting the whole day.
+    rng = streams.stream("example-verticals")
+    submitted = []
+    for vertical, tenant in (
+        (ServiceType.AUTOMOTIVE, "acme-automotive"),
+        (ServiceType.AUTOMOTIVE, "roadside-ops"),
+        (ServiceType.EHEALTH, "mediclinic"),
+        (ServiceType.EHEALTH, "homecare"),
+    ):
+        spec = vertical_for(vertical)
+        request = spec.sample_request(tenant, rng)
+        # Stretch to a full day so the forecaster sees the whole pattern.
+        from repro.core.slices import SLA, SliceRequest
+
+        request = SliceRequest(
+            tenant_id=request.tenant_id,
+            service_type=request.service_type,
+            sla=SLA(
+                throughput_mbps=request.sla.throughput_mbps,
+                max_latency_ms=request.sla.max_latency_ms,
+                duration_s=86_400.0,
+                availability=request.sla.availability,
+            ),
+            price=request.price,
+            penalty_rate=request.penalty_rate,
+            n_users=request.n_users,
+        )
+        profile = spec.sample_profile(request.sla.throughput_mbps, rng)
+        decision = orchestrator.submit(request, profile)
+        print(
+            f"{tenant:16s} {vertical.value:10s} {request.sla.throughput_mbps:5.1f} Mb/s "
+            f"≤{request.sla.max_latency_ms:5.1f} ms  -> "
+            f"{'ACCEPTED' if decision.admitted else 'REJECTED'}"
+        )
+        if decision.admitted:
+            submitted.append(request)
+
+    # A simulated day.
+    sim.run_until(86_000.0)
+
+    rows = []
+    for request in submitted:
+        slice_id = request.request_id.replace("req-", "slice-")
+        network_slice = orchestrator.slice(slice_id)
+        runtime = orchestrator.runtime(slice_id)
+        allocation = network_slice.allocation
+        rows.append(
+            [
+                network_slice.request.tenant_id,
+                network_slice.request.service_type.value,
+                allocation.cloud.dc_id,
+                f"{allocation.total_latency_ms:.1f}",
+                f"{runtime.effective_fraction:.2f}",
+                network_slice.served_epochs,
+                f"{network_slice.violation_ratio():.2%}",
+            ]
+        )
+    print("\n=== after one simulated day ===")
+    print(
+        format_table(
+            ["tenant", "vertical", "dc", "e2e_ms", "eff_frac", "epochs", "violations"],
+            rows,
+        )
+    )
+    snapshot = orchestrator.snapshot()
+    print(
+        f"\nmultiplexing gain: {snapshot['multiplexing_gain']:.2f}x   "
+        f"net revenue: {snapshot['ledger']['net_revenue']:.2f}   "
+        f"penalties: {snapshot['ledger']['total_penalties']:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

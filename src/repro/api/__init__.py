@@ -1,0 +1,13 @@
+"""REST-style API layer.
+
+The demo's orchestrator receives monitoring data and slice requests
+"through REST APIs".  We reproduce the interface shape — routes, JSON
+dict bodies, status codes — as an in-process router, so examples and
+tests interact with the orchestrator exactly the way the demo dashboard
+did, without sockets.
+"""
+
+from repro.api.rest import ApiError, Request, Response, RestApi
+from repro.api.routes import build_orchestrator_api
+
+__all__ = ["ApiError", "Request", "Response", "RestApi", "build_orchestrator_api"]

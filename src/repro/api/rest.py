@@ -1,0 +1,134 @@
+"""In-process REST router.
+
+Routes are ``(method, path-template)`` pairs; templates may contain
+``{param}`` segments which are extracted into ``Request.params``.
+Handlers receive a :class:`Request` and return a :class:`Response`
+(or a plain dict, auto-wrapped as 200).  All bodies are JSON-serializable
+dicts — the same contract a real REST deployment would enforce.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class ApiError(RuntimeError):
+    """Raised for router misconfiguration (not for 4xx/5xx responses)."""
+
+
+@dataclass
+class Request:
+    """An API request.
+
+    Attributes:
+        method: HTTP verb, upper-case.
+        path: Concrete path, e.g. ``"/slices/slice-000001"``.
+        body: JSON body (dict) or None.
+        params: Path parameters extracted from the template.
+    """
+
+    method: str
+    path: str
+    body: Optional[dict] = None
+    params: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Response:
+    """An API response with status code and JSON body."""
+
+    status: int
+    body: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status is 2xx."""
+        return 200 <= self.status < 300
+
+    def json(self) -> str:
+        """Serialized body — proves everything we return is JSON-safe."""
+        return json.dumps(self.body, sort_keys=True)
+
+
+Handler = Callable[[Request], "Response | dict"]
+
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+class RestApi:
+    """Minimal in-process REST router."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, re.Pattern, str, Handler]] = []
+
+    def route(self, method: str, template: str, handler: Handler) -> None:
+        """Register a handler for ``method template``.
+
+        Raises:
+            ApiError: On duplicate registration.
+        """
+        method = method.upper()
+        pattern = self._compile(template)
+        for m, p, t, _ in self._routes:
+            if m == method and t == template:
+                raise ApiError(f"duplicate route {method} {template}")
+        self._routes.append((method, pattern, template, handler))
+
+    @staticmethod
+    def _compile(template: str) -> re.Pattern:
+        if not template.startswith("/"):
+            raise ApiError(f"route template must start with '/', got {template!r}")
+        regex = _PARAM_RE.sub(lambda m: f"(?P<{m.group(1)}>[^/]+)", template)
+        return re.compile(f"^{regex}$")
+
+    def dispatch(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Response:
+        """Route a request; returns 404/405 responses instead of raising."""
+        method = method.upper()
+        path_matched = False
+        for m, pattern, _, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if m != method:
+                continue
+            request = Request(method=method, path=path, body=body, params=match.groupdict())
+            try:
+                result = handler(request)
+            except Exception as exc:  # handler bug → 500, never crash the caller
+                return Response(status=500, body={"error": str(exc)})
+            if isinstance(result, Response):
+                return result
+            return Response(status=200, body=result)
+        if path_matched:
+            return Response(status=405, body={"error": f"method {method} not allowed"})
+        return Response(status=404, body={"error": f"no route for {path}"})
+
+    # Convenience verbs -------------------------------------------------
+    def get(self, path: str) -> Response:
+        """Dispatch a GET."""
+        return self.dispatch("GET", path)
+
+    def post(self, path: str, body: Optional[dict] = None) -> Response:
+        """Dispatch a POST."""
+        return self.dispatch("POST", path, body)
+
+    def patch(self, path: str, body: Optional[dict] = None) -> Response:
+        """Dispatch a PATCH."""
+        return self.dispatch("PATCH", path, body)
+
+    def delete(self, path: str) -> Response:
+        """Dispatch a DELETE."""
+        return self.dispatch("DELETE", path)
+
+    def routes(self) -> List[str]:
+        """Human-readable route list."""
+        return [f"{m} {t}" for m, _, t, _ in self._routes]
+
+
+__all__ = ["ApiError", "Handler", "Request", "Response", "RestApi"]

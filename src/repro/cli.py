@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the reproduction without writing
+code:
+
+- ``demo`` — replay a demo-like session and print the dashboard,
+- ``scenario`` — run one configurable workload and print its result row,
+- ``sweep`` — sweep the overbooking factor and print the D2-style table,
+- ``experiments`` — list the benchmark experiments and their claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.admission import FcfsPolicy, GreedyPricePolicy, KnapsackPolicy
+from repro.core.overbooking import (
+    AdaptiveOverbooking,
+    FixedOverbooking,
+    NoOverbooking,
+)
+from repro.core.slices import ServiceType
+from repro.dashboard.reports import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.traffic.generator import RequestMix
+
+ADMISSION_POLICIES = {
+    "fcfs": FcfsPolicy,
+    "greedy": GreedyPricePolicy,
+    "knapsack": KnapsackPolicy,
+}
+
+EXPERIMENTS = [
+    ("D1", "bench_d1_admission.py", "revenue-max admission beats naive acceptance"),
+    ("D2", "bench_d2_overbooking_gain.py", "overbooking gain vs. penalty trade-off"),
+    ("D3", "bench_d3_forecasting.py", "forecasting accuracy enables safe overbooking"),
+    ("D4", "bench_d4_e2e_deployment.py", "end-to-end deployment and UE attachment"),
+    ("D5", "bench_d5_transport_paths.py", "delay/capacity-guaranteed transport paths"),
+    ("D6", "bench_d6_placement.py", "edge vs. core DC selection"),
+    ("D7", "bench_d7_adaptive.py", "adaptive gain-vs-violation trade-off"),
+    ("D8", "bench_d8_scalability.py", "orchestrator scalability"),
+    ("D9", "bench_d9_batch_window.py", "batch-window broker ablation"),
+    ("D10", "bench_d10_self_healing.py", "transport self-healing ablation"),
+]
+
+
+def _make_overbooking(spec: str):
+    """Parse an overbooking spec: ``none``, ``fixed:<factor>`` or
+    ``adaptive:<budget>``."""
+    if spec == "none":
+        return NoOverbooking()
+    kind, _, arg = spec.partition(":")
+    if kind == "fixed":
+        return FixedOverbooking(float(arg or 1.5))
+    if kind == "adaptive":
+        return AdaptiveOverbooking(violation_budget=float(arg or 0.05))
+    raise argparse.ArgumentTypeError(
+        f"unknown overbooking spec {spec!r} (none | fixed:<factor> | adaptive:<budget>)"
+    )
+
+
+def _make_mix(spec: Optional[str]) -> Optional[RequestMix]:
+    if spec is None or spec == "default":
+        return None
+    try:
+        service_type = ServiceType(spec)
+    except ValueError:
+        valid = ["default"] + [t.value for t in ServiceType]
+        raise argparse.ArgumentTypeError(f"unknown mix {spec!r}; valid: {valid}")
+    return RequestMix.single(service_type)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end network slice overbooking orchestrator (SIGCOMM'18 demo reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="replay a demo-like session, print the dashboard")
+    demo.add_argument("--seed", type=int, default=2018)
+    demo.add_argument("--hours", type=float, default=2.0)
+
+    scenario = sub.add_parser("scenario", help="run one workload, print the result row")
+    scenario.add_argument("--hours", type=float, default=2.0)
+    scenario.add_argument("--interarrival", type=float, default=120.0, help="mean seconds between requests")
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--admission", choices=sorted(ADMISSION_POLICIES), default="fcfs")
+    scenario.add_argument("--overbooking", type=_make_overbooking, default=NoOverbooking())
+    scenario.add_argument("--mix", type=_make_mix, default=None)
+    scenario.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    sweep = sub.add_parser("sweep", help="sweep the overbooking factor (D2 table)")
+    sweep.add_argument("--hours", type=float, default=2.0)
+    sweep.add_argument("--seed", type=int, default=4)
+    sweep.add_argument(
+        "--factors", type=float, nargs="+", default=[1.0, 1.5, 2.0, 2.5]
+    )
+
+    sub.add_parser("experiments", help="list the benchmark experiments")
+    return parser
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+    from repro.dashboard.dashboard import Dashboard
+    from repro.experiments.testbed import build_testbed
+    from repro.sim.engine import Simulator
+    from repro.sim.randomness import RandomStreams
+    from repro.traffic.generator import RequestGenerator
+
+    testbed = build_testbed()
+    sim = Simulator()
+    streams = RandomStreams(seed=args.seed)
+    orchestrator = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        admission=GreedyPricePolicy(),
+        overbooking=AdaptiveOverbooking(violation_budget=0.05),
+        config=OrchestratorConfig(),
+        streams=streams,
+    )
+    orchestrator.start()
+    generator = RequestGenerator(streams.stream("arrivals"), arrival_rate_per_s=1 / 300.0)
+    generator.drive(
+        sim,
+        args.hours * 3_600.0,
+        lambda request, profile: orchestrator.submit(request, profile),
+    )
+    sim.run_until(args.hours * 3_600.0)
+    print(Dashboard(orchestrator).render())
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        horizon_s=args.hours * 3_600.0,
+        arrival_rate_per_s=1.0 / args.interarrival,
+        seed=args.seed,
+        admission=ADMISSION_POLICIES[args.admission](),
+        overbooking=args.overbooking,
+        mix=args.mix,
+    )
+    result = run_scenario(config)
+    row = result.row()
+    if args.json:
+        print(json.dumps(row, sort_keys=True))
+    else:
+        print(format_table(list(row.keys()), [list(row.values())]))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for factor in args.factors:
+        overbooking = NoOverbooking() if factor <= 1.0 else FixedOverbooking(factor)
+        result = run_scenario(
+            ScenarioConfig(
+                horizon_s=args.hours * 3_600.0,
+                arrival_rate_per_s=1 / 45.0,
+                seed=args.seed,
+                overbooking=overbooking,
+                mix=RequestMix.single(ServiceType.EMBB),
+            )
+        )
+        rows.append(
+            [
+                factor,
+                result.mean_multiplexing_gain,
+                result.violation_rate,
+                result.gross_revenue,
+                result.total_penalties,
+                result.net_revenue,
+            ]
+        )
+    print(
+        format_table(
+            ["factor", "gain", "viol_rate", "gross", "penalties", "net"], rows
+        )
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    print(format_table(["id", "bench", "claim"], EXPERIMENTS))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "scenario": cmd_scenario,
+        "sweep": cmd_sweep,
+        "experiments": cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

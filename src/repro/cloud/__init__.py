@@ -1,0 +1,49 @@
+"""Cloud/edge datacenter substrate.
+
+Replaces the demo's two OpenStack deployments (edge + core) and their
+Heat orchestration: compute nodes with vCPU/RAM/disk capacity, OpenStack
+style flavors, bin-packing VM placement policies, Heat-like stack
+templates that instantiate groups of VMs atomically, and the cloud
+domain controller the orchestrator calls to deploy per-slice vEPCs.
+"""
+
+from repro.cloud.flavors import Flavor, FLAVORS
+from repro.cloud.datacenter import (
+    CloudError,
+    ComputeNode,
+    Datacenter,
+    DatacenterTier,
+    VirtualMachine,
+    VmState,
+)
+from repro.cloud.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    PlacementError,
+    PlacementPolicy,
+    WorstFitPlacement,
+)
+from repro.cloud.heat import HeatStack, HeatTemplate, StackResource, StackState
+from repro.cloud.controller import CloudAllocation, CloudController
+
+__all__ = [
+    "BestFitPlacement",
+    "CloudAllocation",
+    "CloudController",
+    "CloudError",
+    "ComputeNode",
+    "Datacenter",
+    "DatacenterTier",
+    "FirstFitPlacement",
+    "Flavor",
+    "FLAVORS",
+    "HeatStack",
+    "HeatTemplate",
+    "PlacementError",
+    "PlacementPolicy",
+    "StackResource",
+    "StackState",
+    "VirtualMachine",
+    "VmState",
+    "WorstFitPlacement",
+]

@@ -1,0 +1,96 @@
+"""VM placement policies (bin packing over compute nodes).
+
+The demo's OpenStack scheduler places vEPC VMs; we provide the three
+classic heuristics so the placement ablation (bench D6) can compare
+consolidation (best-fit) against load spreading (worst-fit).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.cloud.datacenter import ComputeNode, VirtualMachine
+from repro.cloud.flavors import Flavor
+
+
+class PlacementError(RuntimeError):
+    """Raised when a VM set cannot be placed."""
+
+
+class PlacementPolicy(ABC):
+    """Chooses a compute node for each VM to boot."""
+
+    @abstractmethod
+    def choose_node(self, nodes: List[ComputeNode], flavor: Flavor) -> Optional[ComputeNode]:
+        """Node to host ``flavor``, or None if nothing fits."""
+
+    def place_all(
+        self, nodes: List[ComputeNode], vms: List[VirtualMachine]
+    ) -> List[ComputeNode]:
+        """Boot every VM, atomically: on any failure, roll back all boots.
+
+        Returns:
+            The node chosen for each VM, parallel to ``vms``.
+
+        Raises:
+            PlacementError: If any VM cannot be placed (state unchanged).
+        """
+        booted: List[tuple] = []
+        chosen: List[ComputeNode] = []
+        try:
+            for vm in vms:
+                node = self.choose_node(nodes, vm.flavor)
+                if node is None:
+                    raise PlacementError(
+                        f"no node fits {vm.flavor.name} for VM {vm.name}"
+                    )
+                node.boot(vm)
+                booted.append((node, vm))
+                chosen.append(node)
+        except PlacementError:
+            for node, vm in booted:
+                node.destroy(vm.vm_id)
+            raise
+        return chosen
+
+    @staticmethod
+    def _fitting(nodes: List[ComputeNode], flavor: Flavor) -> List[ComputeNode]:
+        return [n for n in nodes if n.can_host(flavor)]
+
+
+class FirstFitPlacement(PlacementPolicy):
+    """First node (in inventory order) that fits — fastest decision."""
+
+    def choose_node(self, nodes: List[ComputeNode], flavor: Flavor) -> Optional[ComputeNode]:
+        fitting = self._fitting(nodes, flavor)
+        return fitting[0] if fitting else None
+
+
+class BestFitPlacement(PlacementPolicy):
+    """Node with least free vCPUs that still fits — consolidates load."""
+
+    def choose_node(self, nodes: List[ComputeNode], flavor: Flavor) -> Optional[ComputeNode]:
+        fitting = self._fitting(nodes, flavor)
+        if not fitting:
+            return None
+        return min(fitting, key=lambda n: (n.free_vcpus, n.free_ram_gb, n.node_id))
+
+
+class WorstFitPlacement(PlacementPolicy):
+    """Node with most free vCPUs — spreads load, leaves headroom."""
+
+    def choose_node(self, nodes: List[ComputeNode], flavor: Flavor) -> Optional[ComputeNode]:
+        fitting = self._fitting(nodes, flavor)
+        if not fitting:
+            return None
+        return max(fitting, key=lambda n: (n.free_vcpus, n.free_ram_gb, n.node_id))
+
+
+__all__ = [
+    "BestFitPlacement",
+    "FirstFitPlacement",
+    "PlacementError",
+    "PlacementPolicy",
+    "WorstFitPlacement",
+]

@@ -1,0 +1,36 @@
+"""Core contribution of the paper: the end-to-end slice overbooking orchestrator.
+
+This package contains the pieces the SIGCOMM'18 demo highlights:
+
+- the slice model and SLA vocabulary (:mod:`repro.core.slices`),
+- the admission-control engine with its revenue-maximization policies
+  (:mod:`repro.core.admission`),
+- the traffic forecasting engine (:mod:`repro.core.forecasting`),
+- the overbooking engine that converts forecasts into statistical
+  multiplexing gain under an SLA-violation budget
+  (:mod:`repro.core.overbooking`),
+- the multi-domain resource allocator (:mod:`repro.core.allocation`),
+- revenue/penalty accounting (:mod:`repro.core.pricing`), and
+- the hierarchical end-to-end orchestrator that glues it all together
+  (:mod:`repro.core.orchestrator`).
+"""
+
+from repro.core.slices import (
+    PLMN,
+    PlmnPool,
+    ServiceType,
+    SLA,
+    SliceRequest,
+    SliceState,
+    NetworkSlice,
+)
+
+__all__ = [
+    "PLMN",
+    "PlmnPool",
+    "ServiceType",
+    "SLA",
+    "SliceRequest",
+    "SliceState",
+    "NetworkSlice",
+]

@@ -1,0 +1,412 @@
+"""Multi-domain resource allocation.
+
+Given an admitted slice, commit resources in all three domains —
+"radio resources (PRBs) are reserved through the RAN controller,
+dedicated paths are selected to guarantee the required delay and
+capacity in the transport network and cloud (or mobile edge) data
+centers are selected to satisfy the network slice SLAs" (paper §3).
+
+The allocator owns two cross-domain concerns:
+
+1. **Latency budget split** — RAN segment + transport path + DC
+   processing must stay within the SLA bound; the transport path is
+   searched with whatever budget the fixed RAN/DC terms leave.
+2. **Edge-vs-core selection** — core capacity is plentiful but far;
+   the allocator prefers the core DC when the latency budget allows and
+   spills latency-tight slices (URLLC, automotive) to the edge,
+   preserving scarce edge capacity for the slices that need it.
+
+Failure in any domain rolls back the domains already committed, so a
+rejected slice never leaks resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cloud.controller import CloudAllocation, CloudController
+from repro.cloud.datacenter import CloudError, Datacenter, DatacenterTier
+from repro.core.admission import ResourceVector
+from repro.core.slices import NetworkSlice, SliceRequest
+from repro.epc.components import epc_template
+from repro.ran.controller import (
+    RAN_SEGMENT_LATENCY_MS,
+    RanAllocation,
+    RanController,
+)
+from repro.ran.enb import RanConfigError
+from repro.transport.controller import (
+    TransportAllocation,
+    TransportController,
+    TransportError,
+)
+from repro.transport.paths import PathRequest
+
+
+class AllocationError(RuntimeError):
+    """Raised when end-to-end allocation fails; names the failing domain."""
+
+    def __init__(self, domain: str, message: str) -> None:
+        super().__init__(f"[{domain}] {message}")
+        self.domain = domain
+
+
+@dataclass(frozen=True)
+class EndToEndAllocation:
+    """The slice's committed resources across all three domains."""
+
+    ran: RanAllocation
+    transport: TransportAllocation
+    cloud: CloudAllocation
+
+    @property
+    def total_latency_ms(self) -> float:
+        """End-to-end user-plane latency of the allocation."""
+        return (
+            self.ran.latency_ms
+            + self.transport.delay_ms
+            + self.cloud.processing_delay_ms
+        )
+
+
+class MultiDomainAllocator:
+    """Commits slices across RAN, transport and cloud with rollback."""
+
+    def __init__(
+        self,
+        ran: RanController,
+        transport: TransportController,
+        cloud: CloudController,
+    ) -> None:
+        self.ran = ran
+        self.transport = transport
+        self.cloud = cloud
+
+    # ------------------------------------------------------------------
+    # Demand estimation (admission input)
+    # ------------------------------------------------------------------
+    def demand_vector(self, request: SliceRequest) -> ResourceVector:
+        """Nominal multi-domain footprint of a request.
+
+        PRBs are dimensioned at the fleet's reference CQI; transport
+        bandwidth equals the SLA throughput; vCPUs come from the vEPC
+        template.
+        """
+        enbs = self.ran.enbs()
+        if not enbs:
+            raise AllocationError("ran", "no eNBs registered")
+        prbs = enbs[0].prbs_for_throughput(request.sla.throughput_mbps)
+        template = epc_template("probe")
+        return ResourceVector(
+            prbs=float(prbs),
+            mbps=request.sla.throughput_mbps,
+            vcpus=float(template.total_vcpus),
+        )
+
+    def free_vector(self) -> ResourceVector:
+        """Current free capacity across the three domains.
+
+        RAN free PRBs are taken from the *single best cell* (a slice
+        lives on one cell, so fleet-wide sums would overstate what one
+        request can use); transport uses the most permissive residual of
+        the eNB uplinks; cloud sums free vCPUs.
+        """
+        free_prbs = max(self.ran.free_prbs().values(), default=0)
+        residuals = [
+            link.residual_mbps
+            for enb in self.ran.enbs()
+            for link in self.transport.topology.out_links(enb.transport_node)
+            if link.up
+        ]
+        free_mbps = max(residuals, default=0.0)
+        free_vcpus = sum(dc.free_vcpus for dc in self.cloud.datacenters())
+        return ResourceVector(prbs=float(free_prbs), mbps=free_mbps, vcpus=float(free_vcpus))
+
+    def aggregate_capacity_vector(self) -> ResourceVector:
+        """Fleet-wide *total* capacity (free + committed).
+
+        The resource-calendar capacity for advance reservations: total
+        PRBs across cells, summed best-uplink capacity per eNB, and
+        total datacenter vCPUs.
+        """
+        total_prbs = sum(enb.grid.total_prbs for enb in self.ran.enbs())
+        total_mbps = 0.0
+        for enb in self.ran.enbs():
+            capacities = [
+                link.capacity_mbps
+                for link in self.transport.topology.out_links(enb.transport_node)
+            ]
+            total_mbps += max(capacities, default=0.0)
+        total_vcpus = sum(dc.total_vcpus for dc in self.cloud.datacenters())
+        return ResourceVector(
+            prbs=float(total_prbs), mbps=total_mbps, vcpus=float(total_vcpus)
+        )
+
+    def aggregate_free_vector(self) -> ResourceVector:
+        """Fleet-wide free capacity for *batch* planning.
+
+        Unlike :meth:`free_vector` (what one request can use right now),
+        this sums across cells and uplinks — the right capacity for a
+        batch broker deciding a whole window, where each winner lands on
+        its own cell.  A selection that fits the aggregate can still
+        fail per-cell placement at install time; the installer handles
+        that by booking a rejection.
+        """
+        free_prbs = sum(self.ran.free_prbs().values())
+        free_mbps = 0.0
+        for enb in self.ran.enbs():
+            residuals = [
+                link.residual_mbps
+                for link in self.transport.topology.out_links(enb.transport_node)
+                if link.up
+            ]
+            free_mbps += max(residuals, default=0.0)
+        free_vcpus = sum(dc.free_vcpus for dc in self.cloud.datacenters())
+        return ResourceVector(prbs=float(free_prbs), mbps=free_mbps, vcpus=float(free_vcpus))
+
+    # ------------------------------------------------------------------
+    # DC selection under the latency budget
+    # ------------------------------------------------------------------
+    def _transport_budget_ms(self, request: SliceRequest, dc: Datacenter) -> float:
+        return request.sla.max_latency_ms - RAN_SEGMENT_LATENCY_MS - dc.processing_delay_ms
+
+    def candidate_datacenters(self, request: SliceRequest, enb_node: str) -> List[Datacenter]:
+        """Feasible DCs for the slice's vEPC, core-first when latency allows.
+
+        A DC qualifies if (i) its free compute hosts the vEPC template
+        and (ii) a transport path from the eNB meets the remaining
+        latency budget at the SLA bandwidth.
+        """
+        template = epc_template(request.request_id)
+        ordered = sorted(
+            self.cloud.datacenters(),
+            key=lambda dc: 0 if dc.tier is DatacenterTier.CORE else 1,
+        )
+        candidates = []
+        for dc in ordered:
+            if not dc.can_host_flavors(template.flavors()):
+                continue
+            budget = self._transport_budget_ms(request, dc)
+            if budget <= 0:
+                continue
+            path_request = PathRequest(
+                src=enb_node,
+                dst=dc.gateway_node,
+                min_bandwidth_mbps=request.sla.throughput_mbps,
+                max_delay_ms=budget,
+            )
+            if self.transport.feasible(path_request):
+                candidates.append(dc)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Feasibility probe (admission support; commits nothing)
+    # ------------------------------------------------------------------
+    def feasible(self, request: SliceRequest, effective_fraction: float = 1.0) -> bool:
+        """Whether the slice could currently be allocated end-to-end."""
+        demand = self.demand_vector(request)
+        effective_prbs = max(1, round(demand.prbs * effective_fraction))
+        enb_id = self.ran.best_enb_for(request.sla.throughput_mbps, effective_prbs)
+        if enb_id is None:
+            return False
+        enb_node = self.ran.enb(enb_id).transport_node
+        return bool(self.candidate_datacenters(request, enb_node))
+
+    # ------------------------------------------------------------------
+    # Commit with rollback
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        network_slice: NetworkSlice,
+        effective_fraction: float = 1.0,
+    ) -> EndToEndAllocation:
+        """Commit the slice end-to-end.
+
+        Order: RAN first (it pins the ingress node), then transport to
+        the chosen DC, then the cloud stack.  On any failure, everything
+        committed so far is released and :class:`AllocationError` names
+        the failing domain.
+
+        Raises:
+            AllocationError: When any domain cannot serve the slice.
+        """
+        request = network_slice.request
+        slice_id = network_slice.slice_id
+        if network_slice.plmn is None:
+            raise AllocationError("orchestrator", f"slice {slice_id} has no PLMN")
+        # --- RAN ------------------------------------------------------
+        try:
+            ran_alloc = self.ran.install_slice(
+                slice_id,
+                network_slice.plmn,
+                request.sla.throughput_mbps,
+                effective_fraction=effective_fraction,
+            )
+        except RanConfigError as exc:
+            raise AllocationError("ran", str(exc)) from exc
+        enb_node = self.ran.enb(ran_alloc.enb_id).transport_node
+        # --- Cloud target selection ------------------------------------
+        candidates = self.candidate_datacenters(request, enb_node)
+        if not candidates:
+            self.ran.remove_slice(slice_id)
+            raise AllocationError(
+                "cloud",
+                f"no datacenter satisfies compute + latency for {slice_id}",
+            )
+        last_error: Optional[Exception] = None
+        for dc in candidates:
+            budget = self._transport_budget_ms(request, dc)
+            path_request = PathRequest(
+                src=enb_node,
+                dst=dc.gateway_node,
+                min_bandwidth_mbps=request.sla.throughput_mbps,
+                max_delay_ms=budget,
+            )
+            # --- Transport ------------------------------------------------
+            try:
+                transport_alloc = self.transport.reserve_path(
+                    slice_id,
+                    network_slice.plmn.plmn_id,
+                    path_request,
+                    effective_fraction=effective_fraction,
+                )
+            except TransportError as exc:
+                last_error = exc
+                continue
+            # --- Cloud ----------------------------------------------------
+            try:
+                cloud_alloc = self.cloud.deploy(
+                    slice_id, epc_template(slice_id), dc.dc_id
+                )
+            except CloudError as exc:
+                self.transport.release_path(slice_id)
+                last_error = exc
+                continue
+            allocation = EndToEndAllocation(
+                ran=ran_alloc, transport=transport_alloc, cloud=cloud_alloc
+            )
+            if allocation.total_latency_ms > request.sla.max_latency_ms + 1e-9:
+                # Should not happen (budget math), but never hand out a
+                # latency-violating allocation.
+                self.cloud.teardown(slice_id)
+                self.transport.release_path(slice_id)
+                last_error = AllocationError(
+                    "orchestrator",
+                    f"allocation latency {allocation.total_latency_ms:.2f} ms "
+                    f"exceeds SLA {request.sla.max_latency_ms:.2f} ms",
+                )
+                continue
+            network_slice.allocation = allocation
+            return allocation
+        self.ran.remove_slice(slice_id)
+        domain = "transport" if isinstance(last_error, TransportError) else "cloud"
+        raise AllocationError(domain, str(last_error)) from last_error
+
+    def release(self, network_slice: NetworkSlice) -> None:
+        """Release the slice's resources in every domain (idempotent-ish:
+        domains missing the slice are skipped)."""
+        slice_id = network_slice.slice_id
+        if self.ran.serving_enb_of(slice_id) is not None:
+            self.ran.remove_slice(slice_id)
+        if self.transport.allocation_of(slice_id) is not None:
+            self.transport.release_path(slice_id)
+        if self.cloud.stack_of(slice_id) is not None:
+            self.cloud.teardown(slice_id)
+        network_slice.allocation = None
+
+    def modify_throughput(
+        self,
+        network_slice: NetworkSlice,
+        new_throughput_mbps: float,
+        effective_fraction: float = 1.0,
+    ) -> EndToEndAllocation:
+        """Tenant-requested scaling: re-dimension an active slice.
+
+        RAN and transport reservations are re-nominated in place (same
+        cell, same path); the vEPC is untouched.  Atomic across the two
+        domains: a transport failure rolls back the RAN change.
+
+        Raises:
+            AllocationError: If the slice is not allocated or the grown
+                reservation does not fit somewhere.
+        """
+        if network_slice.allocation is None:
+            raise AllocationError(
+                "orchestrator", f"slice {network_slice.slice_id} is not allocated"
+            )
+        if new_throughput_mbps <= 0:
+            raise AllocationError(
+                "orchestrator", f"throughput must be positive, got {new_throughput_mbps}"
+            )
+        slice_id = network_slice.slice_id
+        old = network_slice.allocation
+        old_throughput = old.transport.nominal_mbps
+        try:
+            ran_alloc = self.ran.modify_slice(
+                slice_id, new_throughput_mbps, effective_fraction
+            )
+        except RanConfigError as exc:
+            raise AllocationError("ran", str(exc)) from exc
+        try:
+            transport_alloc = self.transport.modify_bandwidth(
+                slice_id, new_throughput_mbps, effective_fraction
+            )
+        except TransportError as exc:
+            # Revert the RAN re-dimensioning.
+            self.ran.modify_slice(
+                slice_id,
+                old_throughput,
+                old.ran.effective_prbs / max(1, old.ran.nominal_prbs),
+            )
+            raise AllocationError("transport", str(exc)) from exc
+        allocation = EndToEndAllocation(
+            ran=ran_alloc, transport=transport_alloc, cloud=old.cloud
+        )
+        network_slice.allocation = allocation
+        return allocation
+
+    def resize(self, network_slice: NetworkSlice, effective_fraction: float) -> None:
+        """Apply a new overbooking shrinkage to an active slice.
+
+        Raises:
+            AllocationError: If the slice is not allocated or the resize
+                does not fit in some domain.
+        """
+        if network_slice.allocation is None:
+            raise AllocationError(
+                "orchestrator", f"slice {network_slice.slice_id} is not allocated"
+            )
+        if not 0.0 < effective_fraction <= 1.0:
+            raise AllocationError(
+                "orchestrator",
+                f"effective fraction must be in (0, 1], got {effective_fraction}",
+            )
+        allocation = network_slice.allocation
+        slice_id = network_slice.slice_id
+        new_prbs = max(1, round(allocation.ran.nominal_prbs * effective_fraction))
+        new_mbps = allocation.transport.nominal_mbps * effective_fraction
+        old_prbs = allocation.ran.effective_prbs
+        try:
+            self.ran.resize_slice(slice_id, new_prbs)
+        except RuntimeError as exc:  # RanConfigError or PrbError
+            raise AllocationError("resize", str(exc)) from exc
+        try:
+            self.transport.resize_path(slice_id, new_mbps)
+        except RuntimeError as exc:  # TransportError or LinkError
+            # Keep the two domains consistent: revert the RAN resize.
+            self.ran.resize_slice(slice_id, old_prbs)
+            raise AllocationError("resize", str(exc)) from exc
+        network_slice.allocation = EndToEndAllocation(
+            ran=RanAllocation(
+                enb_id=allocation.ran.enb_id,
+                nominal_prbs=allocation.ran.nominal_prbs,
+                effective_prbs=new_prbs,
+                latency_ms=allocation.ran.latency_ms,
+            ),
+            transport=self.transport.allocation_of(slice_id),
+            cloud=allocation.cloud,
+        )
+
+
+__all__ = ["AllocationError", "EndToEndAllocation", "MultiDomainAllocator"]

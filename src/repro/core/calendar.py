@@ -1,0 +1,171 @@
+"""Resource calendar for advance slice reservations.
+
+The paper's admission problem accounts for "resource availability,
+ongoing slice reservations **and upcoming requests**" (§2): a tenant may
+book a slice starting in the future, and admission must check capacity
+over the slice's *whole lifetime* against everything already promised —
+not just the instantaneous free vector.
+
+:class:`ResourceCalendar` keeps a piecewise-constant timeline of
+committed multi-domain capacity.  Commitments are half-open intervals
+``[start, end)`` carrying a :class:`ResourceVector`; feasibility of a
+new booking is the peak committed usage over its interval staying within
+capacity.  Because usage only changes at interval boundaries, the peak
+over a window is exact by evaluating at the window start plus every
+boundary inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.admission import ResourceVector
+
+
+class CalendarError(RuntimeError):
+    """Raised on calendar misuse (bad intervals, duplicate bookings)."""
+
+
+@dataclass(frozen=True)
+class Booking:
+    """One committed interval on the calendar."""
+
+    booking_id: str
+    start: float
+    end: float
+    demand: ResourceVector
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise CalendarError(
+                f"booking {self.booking_id}: end ({self.end}) must exceed "
+                f"start ({self.start})"
+            )
+
+    def active_at(self, t: float) -> bool:
+        """Whether the booking occupies capacity at instant ``t``."""
+        return self.start <= t < self.end
+
+
+class ResourceCalendar:
+    """Timeline of multi-domain capacity commitments."""
+
+    def __init__(self, capacity: ResourceVector) -> None:
+        self.capacity = capacity
+        self._bookings: Dict[str, Booking] = {}
+
+    # ------------------------------------------------------------------
+    # Bookings
+    # ------------------------------------------------------------------
+    def commit(
+        self, booking_id: str, start: float, end: float, demand: ResourceVector
+    ) -> Booking:
+        """Record a commitment (does not check feasibility — call
+        :meth:`fits` first; the split lets policies decide to overbook).
+
+        Raises:
+            CalendarError: On a duplicate id or an empty interval.
+        """
+        if booking_id in self._bookings:
+            raise CalendarError(f"booking {booking_id} already exists")
+        booking = Booking(booking_id, float(start), float(end), demand)
+        self._bookings[booking_id] = booking
+        return booking
+
+    def update_demand(self, booking_id: str, demand: ResourceVector) -> Booking:
+        """Replace a booking's demand, keeping its window.
+
+        Called by the orchestrator's reconfiguration loop so the
+        calendar tracks *effective* (overbooked) commitments rather than
+        stale cold-start nominals — otherwise the calendar would veto
+        exactly the admissions overbooking frees up.
+
+        Raises:
+            CalendarError: If the booking does not exist.
+        """
+        old = self._bookings.get(booking_id)
+        if old is None:
+            raise CalendarError(f"booking {booking_id} does not exist")
+        updated = Booking(booking_id, old.start, old.end, demand)
+        self._bookings[booking_id] = updated
+        return updated
+
+    def release(self, booking_id: str) -> None:
+        """Drop a commitment.
+
+        Raises:
+            CalendarError: If unknown.
+        """
+        if booking_id not in self._bookings:
+            raise CalendarError(f"booking {booking_id} does not exist")
+        del self._bookings[booking_id]
+
+    def has(self, booking_id: str) -> bool:
+        """Whether the booking exists."""
+        return booking_id in self._bookings
+
+    def bookings(self) -> List[Booking]:
+        """All bookings, start-ordered."""
+        return sorted(self._bookings.values(), key=lambda b: (b.start, b.booking_id))
+
+    def prune_before(self, t: float) -> int:
+        """Drop bookings that ended at or before ``t``; returns count."""
+        stale = [bid for bid, b in self._bookings.items() if b.end <= t]
+        for bid in stale:
+            del self._bookings[bid]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    def usage_at(self, t: float) -> ResourceVector:
+        """Committed usage at instant ``t``."""
+        total = ResourceVector()
+        for booking in self._bookings.values():
+            if booking.active_at(t):
+                total = total + booking.demand
+        return total
+
+    def peak_usage(self, start: float, end: float) -> ResourceVector:
+        """Component-wise peak committed usage over ``[start, end)``.
+
+        Exact: usage is piecewise constant with changes only at booking
+        boundaries, so the peak is attained at ``start`` or at some
+        boundary strictly inside the window.
+        """
+        if end <= start:
+            raise CalendarError(f"bad window [{start}, {end})")
+        instants = {start}
+        for booking in self._bookings.values():
+            if start < booking.start < end:
+                instants.add(booking.start)
+        peak_prbs = peak_mbps = peak_vcpus = 0.0
+        for t in instants:
+            usage = self.usage_at(t)
+            peak_prbs = max(peak_prbs, usage.prbs)
+            peak_mbps = max(peak_mbps, usage.mbps)
+            peak_vcpus = max(peak_vcpus, usage.vcpus)
+        return ResourceVector(prbs=peak_prbs, mbps=peak_mbps, vcpus=peak_vcpus)
+
+    def fits(self, demand: ResourceVector, start: float, end: float) -> bool:
+        """Whether adding ``demand`` over ``[start, end)`` stays within
+        capacity at every instant."""
+        peak = self.peak_usage(start, end)
+        return (peak + demand).fits_within(self.capacity)
+
+    def utilization_profile(
+        self, start: float, end: float, step: float
+    ) -> List[Tuple[float, ResourceVector]]:
+        """Sampled usage timeline (for dashboards/what-if plots)."""
+        if step <= 0:
+            raise CalendarError(f"step must be positive, got {step}")
+        out = []
+        t = start
+        while t < end:
+            out.append((t, self.usage_at(t)))
+            t += step
+        return out
+
+
+__all__ = ["Booking", "CalendarError", "ResourceCalendar"]

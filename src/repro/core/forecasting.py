@@ -1,0 +1,516 @@
+"""Traffic forecasting engine.
+
+The demo's "machine-learning engine" (following Sciancalepore et al.,
+INFOCOM'17 — ref [4]) forecasts each slice's demand so the orchestrator
+can commit less than the nominal SLA reservation.  We implement the
+classical forecaster family that paper builds on:
+
+- :class:`NaiveForecaster` — last value carried forward (baseline),
+- :class:`MovingAverageForecaster` — window mean (baseline),
+- :class:`ArForecaster` — AR(p) fit by least squares,
+- :class:`HoltWintersForecaster` — additive triple exponential smoothing
+  with a configurable season length (the right model for diurnal mobile
+  traffic),
+- :class:`EnsembleForecaster` — picks the member with the lowest
+  in-sample one-step error.
+
+All forecasters expose point forecasts *and* upper-quantile forecasts:
+``forecast_quantile(h, q)`` returns the level the demand will stay under
+with probability ``q``, derived from the Gaussian residual model.  The
+overbooking engine reserves that quantile instead of the SLA peak — the
+difference is the multiplexing gain.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+
+class ForecastError(RuntimeError):
+    """Raised when a forecaster is used before fitting or on bad input."""
+
+
+class Forecaster(ABC):
+    """Base class: fit on a history, forecast ``h`` steps ahead."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._residual_std = 0.0
+        self._history: np.ndarray = np.array([])
+
+    # ------------------------------------------------------------------
+    # Template methods
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _fit(self, y: np.ndarray) -> None:
+        """Model-specific fit."""
+
+    @abstractmethod
+    def _point_forecast(self, h: int) -> float:
+        """Model-specific point forecast ``h ≥ 1`` steps ahead."""
+
+    @abstractmethod
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        """One-step-ahead in-sample predictions (same length as ``y``;
+        entries the model cannot predict should repeat ``y``)."""
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, history: Sequence[float]) -> "Forecaster":
+        """Fit on an evenly-spaced demand history.
+
+        Raises:
+            ForecastError: If the history is empty or contains NaN.
+        """
+        y = np.asarray(list(history), dtype=float)
+        if y.size == 0:
+            raise ForecastError("cannot fit on an empty history")
+        if np.any(~np.isfinite(y)):
+            raise ForecastError("history contains non-finite values")
+        self._history = y
+        self._fit(y)
+        fitted = self._fitted_values(y)
+        residuals = y - fitted
+        # Guard: a single point gives no residual information.
+        self._residual_std = float(np.std(residuals, ddof=0)) if y.size >= 2 else 0.0
+        self._fitted = True
+        return self
+
+    def forecast(self, h: int = 1) -> float:
+        """Point forecast ``h`` steps ahead (demand is clipped at 0).
+
+        Raises:
+            ForecastError: If not fitted or ``h < 1``.
+        """
+        self._require_fitted()
+        if h < 1:
+            raise ForecastError(f"horizon must be ≥ 1, got {h}")
+        return max(0.0, float(self._point_forecast(h)))
+
+    def forecast_path(self, horizon: int) -> np.ndarray:
+        """Point forecasts for steps ``1..horizon``."""
+        self._require_fitted()
+        if horizon < 1:
+            raise ForecastError(f"horizon must be ≥ 1, got {horizon}")
+        return np.array([self.forecast(h) for h in range(1, horizon + 1)])
+
+    def forecast_quantile(self, h: int = 1, q: float = 0.95) -> float:
+        """Upper ``q``-quantile forecast: point + z_q × residual σ.
+
+        The residual σ is scaled by √h to widen the band with horizon
+        (random-walk error growth), a standard conservative choice.
+
+        Raises:
+            ForecastError: If not fitted, ``h < 1`` or ``q`` outside (0, 1).
+        """
+        if not 0.0 < q < 1.0:
+            raise ForecastError(f"quantile must be in (0, 1), got {q}")
+        point = self.forecast(h)
+        z = float(stats.norm.ppf(q))
+        return max(0.0, point + z * self._residual_std * math.sqrt(h))
+
+    def residual_std(self) -> float:
+        """In-sample one-step residual standard deviation."""
+        self._require_fitted()
+        return self._residual_std
+
+    def in_sample_mae(self) -> float:
+        """In-sample one-step mean absolute error (model-selection score)."""
+        self._require_fitted()
+        fitted = self._fitted_values(self._history)
+        return float(np.mean(np.abs(self._history - fitted)))
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ForecastError(f"{type(self).__name__} is not fitted")
+
+
+class NaiveForecaster(Forecaster):
+    """Forecast = last observed value (the persistence baseline)."""
+
+    def _fit(self, y: np.ndarray) -> None:
+        self._last = float(y[-1])
+
+    def _point_forecast(self, h: int) -> float:
+        return self._last
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        fitted = np.empty_like(y)
+        fitted[0] = y[0]
+        fitted[1:] = y[:-1]
+        return fitted
+
+
+class MovingAverageForecaster(Forecaster):
+    """Forecast = mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 12) -> None:
+        super().__init__()
+        if window < 1:
+            raise ForecastError(f"window must be ≥ 1, got {window}")
+        self.window = int(window)
+
+    def _fit(self, y: np.ndarray) -> None:
+        self._level = float(y[-self.window :].mean())
+
+    def _point_forecast(self, h: int) -> float:
+        return self._level
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        fitted = np.empty_like(y)
+        fitted[0] = y[0]
+        for i in range(1, y.size):
+            lo = max(0, i - self.window)
+            fitted[i] = y[lo:i].mean()
+        return fitted
+
+
+class ArForecaster(Forecaster):
+    """AR(p) model fit by ordinary least squares.
+
+    ``y_t = c + Σ_{i=1..p} φ_i y_{t-i} + ε``; multi-step forecasts are
+    produced by iterated one-step prediction.  Falls back to the naive
+    model when the history is shorter than ``2p + 2``.
+    """
+
+    def __init__(self, order: int = 4) -> None:
+        super().__init__()
+        if order < 1:
+            raise ForecastError(f"order must be ≥ 1, got {order}")
+        self.order = int(order)
+        self._coef: Optional[np.ndarray] = None
+        self._intercept = 0.0
+
+    def _fit(self, y: np.ndarray) -> None:
+        p = self.order
+        if y.size < 2 * p + 2:
+            self._coef = None
+            self._last = float(y[-1])
+            return
+        rows = y.size - p
+        design = np.ones((rows, p + 1))
+        for i in range(p):
+            design[:, i + 1] = y[p - 1 - i : y.size - 1 - i]
+        target = y[p:]
+        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+        self._intercept = float(solution[0])
+        self._coef = solution[1:]
+        self._tail = list(y[-p:][::-1])  # most recent first
+
+    def _point_forecast(self, h: int) -> float:
+        if self._coef is None:
+            return self._last
+        lags = list(self._tail)
+        value = 0.0
+        for _ in range(h):
+            value = self._intercept + float(np.dot(self._coef, lags))
+            lags = [value] + lags[:-1]
+        return value
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        fitted = y.copy().astype(float)
+        if self._coef is None:
+            fitted[1:] = y[:-1]
+            return fitted
+        p = self.order
+        for i in range(p, y.size):
+            lags = y[i - p : i][::-1]
+            fitted[i] = self._intercept + float(np.dot(self._coef, lags))
+        return fitted
+
+
+class HoltWintersForecaster(Forecaster):
+    """Additive Holt-Winters (triple exponential smoothing).
+
+    Level ``l``, trend ``b`` and additive seasonal components ``s`` with
+    season length ``m``; the canonical model for diurnal mobile traffic.
+    Falls back to simple (double) exponential smoothing when the history
+    is shorter than two full seasons.
+
+    Args:
+        season_length: Samples per season (e.g. 288 for a day at 5 min).
+        alpha: Level smoothing in (0, 1).
+        beta: Trend smoothing in [0, 1).
+        gamma: Seasonal smoothing in [0, 1).
+    """
+
+    def __init__(
+        self,
+        season_length: int = 24,
+        alpha: float = 0.35,
+        beta: float = 0.05,
+        gamma: float = 0.25,
+    ) -> None:
+        super().__init__()
+        if season_length < 2:
+            raise ForecastError(f"season length must be ≥ 2, got {season_length}")
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0.0 <= value < 1.0:
+                raise ForecastError(f"{name} must be in [0, 1), got {value}")
+        if alpha <= 0.0:
+            raise ForecastError("alpha must be positive")
+        self.m = int(season_length)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+
+    def _smooth(self, y: np.ndarray) -> tuple:
+        """Run the recursions; returns (level, trend, season, fitted)."""
+        m = self.m
+        seasonal = y.size >= 2 * m
+        if seasonal:
+            # Initial components from the first two seasons.
+            level = float(y[:m].mean())
+            trend = float((y[m : 2 * m].mean() - y[:m].mean()) / m)
+            season = [float(y[i] - level) for i in range(m)]
+            start = m
+            fitted = y[:m].astype(float).copy()
+        else:
+            level = float(y[0])
+            trend = 0.0
+            season = [0.0] * m
+            start = 1
+            fitted = np.array([y[0]], dtype=float)
+        fitted_rest = []
+        for i in range(start, y.size):
+            s_idx = i % m
+            pred = level + trend + (season[s_idx] if seasonal else 0.0)
+            fitted_rest.append(pred)
+            prev_level = level
+            if seasonal:
+                level = self.alpha * (y[i] - season[s_idx]) + (1 - self.alpha) * (
+                    level + trend
+                )
+                season[s_idx] = self.gamma * (y[i] - level) + (1 - self.gamma) * season[
+                    s_idx
+                ]
+            else:
+                level = self.alpha * y[i] + (1 - self.alpha) * (level + trend)
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+        fitted_all = np.concatenate([fitted, np.array(fitted_rest)]) if fitted_rest else fitted
+        return level, trend, season, seasonal, fitted_all[: y.size]
+
+    def _fit(self, y: np.ndarray) -> None:
+        self._level, self._trend, self._season, self._seasonal, self._fit_vals = self._smooth(y)
+        self._n = y.size
+
+    def _point_forecast(self, h: int) -> float:
+        value = self._level + h * self._trend
+        if self._seasonal:
+            value += self._season[(self._n + h - 1) % self.m]
+        return value
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        *_, fitted = self._smooth(y)
+        return fitted
+
+
+class SeasonalNaiveForecaster(Forecaster):
+    """Forecast = the value one season ago (strong diurnal baseline).
+
+    Falls back to plain naive while the history is shorter than one
+    season.
+    """
+
+    def __init__(self, season_length: int = 24) -> None:
+        super().__init__()
+        if season_length < 2:
+            raise ForecastError(f"season length must be ≥ 2, got {season_length}")
+        self.m = int(season_length)
+
+    def _fit(self, y: np.ndarray) -> None:
+        self._y = y
+
+    def _point_forecast(self, h: int) -> float:
+        y = self._y
+        if y.size < self.m:
+            return float(y[-1])
+        return float(y[-self.m + ((h - 1) % self.m)])
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        fitted = y.astype(float).copy()
+        for i in range(y.size):
+            if i >= self.m:
+                fitted[i] = y[i - self.m]
+            elif i >= 1:
+                fitted[i] = y[i - 1]
+        return fitted
+
+
+class SimpleExpSmoothingForecaster(Forecaster):
+    """Simple exponential smoothing (level only, no trend/season)."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ForecastError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+
+    def _smooth(self, y: np.ndarray) -> tuple:
+        level = float(y[0])
+        fitted = [level]
+        for value in y[1:]:
+            fitted.append(level)
+            level = self.alpha * float(value) + (1 - self.alpha) * level
+        return level, np.array(fitted[: y.size])
+
+    def _fit(self, y: np.ndarray) -> None:
+        self._level, self._fit_vals = self._smooth(y)
+
+    def _point_forecast(self, h: int) -> float:
+        return self._level
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        _, fitted = self._smooth(y)
+        return fitted
+
+
+class DriftForecaster(Forecaster):
+    """Naive-with-drift: extrapolates the average historical slope."""
+
+    def _fit(self, y: np.ndarray) -> None:
+        self._last = float(y[-1])
+        self._drift = float((y[-1] - y[0]) / (y.size - 1)) if y.size > 1 else 0.0
+
+    def _point_forecast(self, h: int) -> float:
+        return self._last + h * self._drift
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        fitted = y.astype(float).copy()
+        for i in range(1, y.size):
+            slope = (y[i - 1] - y[0]) / (i - 1) if i > 1 else 0.0
+            fitted[i] = y[i - 1] + slope
+        return fitted
+
+
+class EnsembleForecaster(Forecaster):
+    """Selects, at fit time, the member with the lowest in-sample MAE."""
+
+    def __init__(self, members: Optional[List[Forecaster]] = None) -> None:
+        super().__init__()
+        if members is None:
+            members = [
+                NaiveForecaster(),
+                MovingAverageForecaster(window=12),
+                ArForecaster(order=4),
+                HoltWintersForecaster(season_length=24),
+            ]
+        if not members:
+            raise ForecastError("ensemble needs at least one member")
+        self.members = members
+        self.selected: Optional[Forecaster] = None
+
+    def _fit(self, y: np.ndarray) -> None:
+        best_mae = float("inf")
+        best: Optional[Forecaster] = None
+        for member in self.members:
+            member.fit(y)
+            mae = member.in_sample_mae()
+            if mae < best_mae:
+                best_mae, best = mae, member
+        self.selected = best
+
+    def _point_forecast(self, h: int) -> float:
+        assert self.selected is not None
+        return self.selected._point_forecast(h)
+
+    def _fitted_values(self, y: np.ndarray) -> np.ndarray:
+        assert self.selected is not None
+        return self.selected._fitted_values(y)
+
+
+#: Registry of forecaster constructors by name.  ``make_forecaster``
+#: resolves these; configuration files / CLI flags use the names.
+FORECASTER_REGISTRY = {
+    "naive": NaiveForecaster,
+    "seasonal-naive": SeasonalNaiveForecaster,
+    "moving-average": MovingAverageForecaster,
+    "ses": SimpleExpSmoothingForecaster,
+    "drift": DriftForecaster,
+    "ar": ArForecaster,
+    "holt-winters": HoltWintersForecaster,
+    "ensemble": EnsembleForecaster,
+}
+
+
+def make_forecaster(name: str, **kwargs) -> Forecaster:
+    """Construct a forecaster by registry name.
+
+    Raises:
+        ForecastError: If the name is unknown.
+    """
+    try:
+        factory = FORECASTER_REGISTRY[name]
+    except KeyError:
+        raise ForecastError(
+            f"unknown forecaster {name!r}; valid: {sorted(FORECASTER_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def evaluate_forecaster(
+    forecaster: Forecaster,
+    series: Sequence[float],
+    train_fraction: float = 0.7,
+    horizon: int = 1,
+) -> dict:
+    """Rolling-origin out-of-sample evaluation.
+
+    Fits on the first ``train_fraction`` of ``series`` and then walks
+    forward one step at a time, refitting and recording the ``horizon``
+    step-ahead error at each origin.
+
+    Returns:
+        Dict with ``mae``, ``rmse``, ``mape`` (on nonzero truths) and
+        ``n_evaluations``.
+
+    Raises:
+        ForecastError: If the split leaves no evaluation points.
+    """
+    y = np.asarray(list(series), dtype=float)
+    split = int(y.size * train_fraction)
+    if split < 2 or split + horizon > y.size:
+        raise ForecastError("series too short for the requested split/horizon")
+    errors: List[float] = []
+    truths: List[float] = []
+    for origin in range(split, y.size - horizon + 1):
+        forecaster.fit(y[:origin])
+        pred = forecaster.forecast(horizon)
+        truth = y[origin + horizon - 1]
+        errors.append(pred - truth)
+        truths.append(truth)
+    err = np.array(errors)
+    truth_arr = np.array(truths)
+    nonzero = np.abs(truth_arr) > 1e-9
+    mape = (
+        float(np.mean(np.abs(err[nonzero] / truth_arr[nonzero]))) if nonzero.any() else 0.0
+    )
+    return {
+        "mae": float(np.mean(np.abs(err))),
+        "rmse": float(np.sqrt(np.mean(err**2))),
+        "mape": mape,
+        "n_evaluations": int(err.size),
+    }
+
+
+__all__ = [
+    "ArForecaster",
+    "DriftForecaster",
+    "EnsembleForecaster",
+    "FORECASTER_REGISTRY",
+    "ForecastError",
+    "Forecaster",
+    "HoltWintersForecaster",
+    "MovingAverageForecaster",
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "SimpleExpSmoothingForecaster",
+    "evaluate_forecaster",
+    "make_forecaster",
+]

@@ -1,0 +1,734 @@
+"""End-to-end network slicing orchestrator.
+
+The top of the Fig. 1 hierarchy.  The orchestrator sits above the three
+domain controllers and closes the demo's loop:
+
+    collect utilization → analyse/forecast → optimize allocation →
+    reconfigure the network → (repeat)
+
+Responsibilities, mapped to the paper:
+
+- **Admission control** (§1-i): every arriving request is evaluated by a
+  pluggable :class:`~repro.core.admission.AdmissionPolicy` against the
+  live free-capacity vector, with demand already shrunk by the
+  overbooking posture.
+- **Multi-domain allocation** (§1-ii): admitted slices are committed
+  across RAN/transport/cloud by the
+  :class:`~repro.core.allocation.MultiDomainAllocator`, incl. edge/core
+  selection and the latency-budget split.
+- **Monitoring, forecasting, dynamic reconfiguration** (§1-iii): a
+  periodic monitoring epoch samples real demand, serves it through the
+  slice-aware RAN scheduler, detects SLA violations and books penalties;
+  a slower reconfiguration loop refits per-slice forecasters and
+  resizes effective reservations (the *overbooking* step), freeing
+  capacity to accommodate new slice requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    FcfsPolicy,
+    ResourceVector,
+)
+from repro.core.allocation import AllocationError, MultiDomainAllocator
+from repro.core.forecasting import Forecaster, ForecastError, HoltWintersForecaster
+from repro.core.overbooking import (
+    AdaptiveOverbooking,
+    MultiplexingGainTracker,
+    NoOverbooking,
+    OverbookingPolicy,
+    SlaMonitor,
+)
+from repro.core.pricing import RevenueLedger
+from repro.core.slices import (
+    NetworkSlice,
+    PlmnPool,
+    PlmnPoolExhausted,
+    SliceRequest,
+    SliceState,
+)
+from repro.epc.attach import AttachProcedure
+from repro.epc.instance import EpcInstance
+from repro.monitoring.collector import TelemetryCollector
+from repro.monitoring.metrics import MetricsRegistry
+from repro.ran.ue import UserEquipment
+from repro.sim.engine import Simulator
+from repro.sim.processes import PeriodicProcess
+from repro.sim.randomness import RandomStreams
+from repro.traffic.patterns import TrafficProfile
+
+
+class OrchestratorError(RuntimeError):
+    """Raised on orchestrator misuse."""
+
+
+@dataclass
+class OrchestratorConfig:
+    """Tunables of the orchestration loop.
+
+    Attributes:
+        monitoring_epoch_s: Telemetry/SLA-check period (the demo's
+            "real-time monitoring" cadence).
+        reconfig_every_epochs: Forecast + resize every N epochs.
+        deploy_time_s: Seconds between admission and ACTIVE ("after few
+            seconds, user devices ... are allowed to connect").
+        min_history_for_forecast: Demand samples required before the
+            forecaster is trusted for overbooking.
+        forecast_history_epochs: Tail length the forecaster refits on.
+        simulate_ues: Create UE populations and run attach procedures
+            (disable for large parameter sweeps).
+        max_ues_per_slice: Cap on simulated UEs per slice.
+        self_healing: Re-route slices whose transport path traverses a
+            failed link (checked every monitoring epoch).
+        respect_calendar: Check admission against the advance-reservation
+            calendar ("accounting for ... upcoming requests", paper §2).
+            Disabled only by the D11 ablation, which quantifies the
+            promise-breaking a myopic broker causes.
+    """
+
+    monitoring_epoch_s: float = 60.0
+    reconfig_every_epochs: int = 5
+    deploy_time_s: float = 3.0
+    min_history_for_forecast: int = 12
+    forecast_history_epochs: int = 288
+    simulate_ues: bool = False
+    max_ues_per_slice: int = 8
+    self_healing: bool = True
+    respect_calendar: bool = True
+
+
+@dataclass
+class SliceRuntime:
+    """Per-slice live state the orchestrator tracks."""
+
+    network_slice: NetworkSlice
+    profile: TrafficProfile
+    forecaster: Optional[Forecaster] = None
+    effective_fraction: float = 1.0
+    epc: Optional[EpcInstance] = None
+    ues: List[UserEquipment] = field(default_factory=list)
+    last_demand_mbps: float = 0.0
+    last_delivered_mbps: float = 0.0
+
+
+class Orchestrator:
+    """The end-to-end slice orchestrator of the demo."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        allocator: MultiDomainAllocator,
+        plmn_pool: Optional[PlmnPool] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        overbooking: Optional[OverbookingPolicy] = None,
+        forecaster_factory: Optional[Callable[[], Forecaster]] = None,
+        config: Optional[OrchestratorConfig] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.allocator = allocator
+        self.plmn_pool = plmn_pool or PlmnPool(size=12)
+        self.admission = admission or FcfsPolicy()
+        self.overbooking = overbooking or NoOverbooking()
+        self.forecaster_factory = forecaster_factory or (
+            lambda: HoltWintersForecaster(season_length=24)
+        )
+        self.config = config or OrchestratorConfig()
+        self.streams = streams or RandomStreams(seed=0)
+        self.metrics = MetricsRegistry()
+        self.collector = TelemetryCollector(
+            self.metrics,
+            ran=allocator.ran,
+            transport=allocator.transport,
+            cloud=allocator.cloud,
+        )
+        self.ledger = RevenueLedger()
+        self.sla_monitor = SlaMonitor()
+        self.gain_tracker = MultiplexingGainTracker()
+        from repro.core.calendar import ResourceCalendar
+
+        self.calendar = ResourceCalendar(allocator.aggregate_capacity_vector())
+        self._runtimes: Dict[str, SliceRuntime] = {}
+        self._all_slices: Dict[str, NetworkSlice] = {}
+        self._epoch_counter = 0
+        self._monitor_process = PeriodicProcess(
+            sim,
+            self.config.monitoring_epoch_s,
+            self._monitoring_epoch,
+            name="monitoring-epoch",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle of the orchestrator itself
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic monitoring loop."""
+        self._monitor_process.start()
+
+    def stop(self) -> None:
+        """Halt the monitoring loop."""
+        self._monitor_process.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling (dashboard "request a slice" button)
+    # ------------------------------------------------------------------
+    def cold_start_fraction(self, request: SliceRequest) -> float:
+        """Overbooking posture for a brand-new slice (no history yet):
+        the policy's cold-start answer on the nominal throughput."""
+        decision = self.overbooking.decide(
+            request.request_id, request.sla.throughput_mbps, forecaster=None
+        )
+        return decision.fraction
+
+    def shrunk_demand(self, request: SliceRequest, fraction: float) -> ResourceVector:
+        """Multi-domain demand with the overbooking shrinkage applied.
+
+        PRBs and transport bandwidth shrink; VMs are not overbookable.
+        """
+        demand = self.allocator.demand_vector(request)
+        return ResourceVector(
+            prbs=demand.prbs * fraction,
+            mbps=demand.mbps * fraction,
+            vcpus=demand.vcpus,
+        )
+
+    def submit(self, request: SliceRequest, profile: TrafficProfile) -> AdmissionDecision:
+        """Online admission + allocation for one slice request.
+
+        Returns the admission decision; on acceptance the slice is
+        ADMITTED immediately and becomes ACTIVE ``deploy_time_s`` later.
+        """
+        fraction = self.cold_start_fraction(request)
+        shrunk = self.shrunk_demand(request, fraction)
+        free = self.allocator.free_vector()
+        decision = self.admission.decide(request, shrunk, free)
+        if not decision.admitted:
+            self.reject(request, decision.reason)
+            return decision
+        # "Accounting for ... upcoming requests" (paper §2): an immediate
+        # slice must not consume capacity promised to advance bookings.
+        if self.config.respect_calendar:
+            horizon = self.sim.now + request.sla.duration_s + self.config.deploy_time_s
+            if not self.calendar.fits(shrunk, self.sim.now, horizon):
+                return self.reject(
+                    request, "conflicts with advance reservations on the calendar"
+                )
+        return self.install_admitted(request, profile)
+
+    def submit_advance(
+        self,
+        request: SliceRequest,
+        profile: TrafficProfile,
+        start_time: float,
+    ) -> AdmissionDecision:
+        """Book a slice that should start at a *future* instant.
+
+        Admission checks the resource calendar over the slice's whole
+        lifetime (ongoing slices + already-promised bookings); accepted
+        bookings are committed to the calendar immediately and installed
+        when ``start_time`` arrives.  An install-time allocation failure
+        (e.g. a fragmentation race) is booked as a rejection then.
+
+        Raises:
+            OrchestratorError: If ``start_time`` is in the past.
+        """
+        if start_time < self.sim.now:
+            raise OrchestratorError(
+                f"advance booking must start in the future "
+                f"(start={start_time}, now={self.sim.now})"
+            )
+        fraction = self.cold_start_fraction(request)
+        shrunk = self.shrunk_demand(request, fraction)
+        end_time = start_time + request.sla.duration_s + self.config.deploy_time_s
+        if self.config.respect_calendar:
+            if not self.calendar.fits(shrunk, start_time, end_time):
+                return self.reject(
+                    request, "insufficient projected capacity over the booking window"
+                )
+            self.calendar.commit(request.request_id, start_time, end_time, shrunk)
+
+        def install() -> None:
+            decision = self.install_admitted(request, profile)
+            if not decision.admitted and self.calendar.has(request.request_id):
+                self.calendar.release(request.request_id)
+
+        self.sim.schedule_at(start_time, install, name=f"advance-{request.request_id}")
+        return AdmissionDecision(
+            request_id=request.request_id,
+            admitted=True,
+            reason=f"booked for t={start_time:.0f}s",
+            expected_value=request.price,
+        )
+
+    def reject(self, request: SliceRequest, reason: str) -> AdmissionDecision:
+        """Record a rejection (admission said no, or the broker dropped it)."""
+        network_slice = NetworkSlice(request)
+        self._all_slices[network_slice.slice_id] = network_slice
+        network_slice.transition(SliceState.REJECTED, self.sim.now)
+        self.ledger.book_rejection(request, reason, self.sim.now)
+        return AdmissionDecision(
+            request_id=request.request_id, admitted=False, reason=reason
+        )
+
+    def install_admitted(
+        self, request: SliceRequest, profile: TrafficProfile
+    ) -> AdmissionDecision:
+        """Install a slice whose admission decision was already positive
+        (taken by :meth:`submit` or by an external batch broker).
+
+        The install can still fail on PLMN exhaustion or an allocation
+        race; such failures are booked as rejections.
+        """
+        network_slice = NetworkSlice(request)
+        self._all_slices[network_slice.slice_id] = network_slice
+        fraction = self.cold_start_fraction(request)
+        # PLMN mapping (MOCN): a slice cannot exist without an identity.
+        try:
+            plmn = self.plmn_pool.allocate(network_slice.slice_id)
+        except PlmnPoolExhausted as exc:
+            network_slice.transition(SliceState.REJECTED, self.sim.now)
+            self.ledger.book_rejection(request, str(exc), self.sim.now)
+            return AdmissionDecision(
+                request_id=request.request_id,
+                admitted=False,
+                reason=str(exc),
+            )
+        network_slice.plmn = plmn
+        try:
+            self.allocator.allocate(network_slice, effective_fraction=fraction)
+        except AllocationError as exc:
+            self.plmn_pool.release(network_slice.slice_id)
+            network_slice.plmn = None
+            network_slice.transition(SliceState.REJECTED, self.sim.now)
+            self.ledger.book_rejection(request, str(exc), self.sim.now)
+            return AdmissionDecision(
+                request_id=request.request_id,
+                admitted=False,
+                reason=str(exc),
+            )
+        network_slice.transition(SliceState.ADMITTED, self.sim.now)
+        self.ledger.book_admission(network_slice.slice_id, request)
+        # Keep the calendar in sync (advance bookings committed earlier
+        # keep their original window).
+        if not self.calendar.has(request.request_id):
+            self.calendar.commit(
+                request.request_id,
+                self.sim.now,
+                self.sim.now + request.sla.duration_s + self.config.deploy_time_s,
+                self.shrunk_demand(request, fraction),
+            )
+        runtime = SliceRuntime(
+            network_slice=network_slice,
+            profile=profile,
+            effective_fraction=fraction,
+        )
+        self._runtimes[network_slice.slice_id] = runtime
+        network_slice.transition(SliceState.DEPLOYING, self.sim.now)
+        self.sim.schedule(
+            self.config.deploy_time_s,
+            lambda: self._activate(network_slice.slice_id),
+            name=f"activate-{network_slice.slice_id}",
+        )
+        return AdmissionDecision(
+            request_id=request.request_id,
+            admitted=True,
+            reason="installed",
+            expected_value=request.price,
+        )
+
+    def _activate(self, slice_id: str) -> None:
+        runtime = self._runtimes.get(slice_id)
+        if runtime is None:
+            return
+        network_slice = runtime.network_slice
+        if network_slice.state is not SliceState.DEPLOYING:
+            return
+        network_slice.transition(SliceState.ACTIVE, self.sim.now)
+        if self.config.simulate_ues:
+            self._spawn_ues(runtime)
+        # Expiry is measured from activation (the SLA's duration).
+        self.sim.schedule(
+            network_slice.request.sla.duration_s,
+            lambda: self._expire(slice_id),
+            name=f"expire-{slice_id}",
+        )
+
+    def _spawn_ues(self, runtime: SliceRuntime) -> None:
+        """Create the slice's vEPC binding + UE population and attach them."""
+        network_slice = runtime.network_slice
+        slice_id = network_slice.slice_id
+        stack = self.allocator.cloud.stack_of(slice_id)
+        if stack is None or network_slice.plmn is None or network_slice.allocation is None:
+            return
+        runtime.epc = EpcInstance(slice_id, network_slice.plmn.plmn_id, stack)
+        enb = self.allocator.ran.enb(network_slice.allocation.ran.enb_id)
+        rng = self.streams.stream(f"ues-{slice_id}")
+        n_ues = min(network_slice.request.n_users, self.config.max_ues_per_slice)
+        procedure = AttachProcedure(
+            enb, runtime.epc, network_slice.allocation.transport.delay_ms
+        )
+        for _ in range(n_ues):
+            ue = UserEquipment(network_slice.plmn, slice_id, rng=rng)
+            runtime.epc.provision_subscriber(ue.imsi)
+            enb.register_ue(ue)
+            runtime.ues.append(ue)
+            outcome = procedure.attach(ue)
+            self.metrics.record(
+                self.sim.now,
+                "ue.attach_latency_ms",
+                outcome.latency_ms if outcome.success else -1.0,
+                label=slice_id,
+            )
+
+    def terminate_early(self, slice_id: str, refund: bool = True) -> float:
+        """Tenant-initiated teardown of an ACTIVE slice.
+
+        Optionally refunds the unused fraction of the slice's price
+        (pro-rata on remaining duration).  Returns the refund amount.
+
+        Raises:
+            OrchestratorError: If the slice is not ACTIVE.
+        """
+        runtime = self._runtimes.get(slice_id)
+        if runtime is None or runtime.network_slice.state is not SliceState.ACTIVE:
+            raise OrchestratorError(f"slice {slice_id} is not active")
+        network_slice = runtime.network_slice
+        amount = 0.0
+        if refund and network_slice.active_at is not None:
+            served = self.sim.now - network_slice.active_at
+            total = network_slice.request.sla.duration_s
+            unused = max(0.0, 1.0 - served / total)
+            amount = network_slice.request.price * unused
+            self.ledger.book_refund(slice_id, amount)
+        self._expire(slice_id)
+        return amount
+
+    def _expire(self, slice_id: str) -> None:
+        runtime = self._runtimes.pop(slice_id, None)
+        if runtime is None:
+            return
+        network_slice = runtime.network_slice
+        if network_slice.state is not SliceState.ACTIVE:
+            return
+        if runtime.epc is not None:
+            runtime.epc.shutdown()
+        for ue in runtime.ues:
+            if ue.attached:
+                ue.detach()
+        self.allocator.release(network_slice)
+        self.plmn_pool.release(slice_id)
+        if self.calendar.has(network_slice.request.request_id):
+            self.calendar.release(network_slice.request.request_id)
+        network_slice.transition(SliceState.EXPIRED, self.sim.now)
+
+    def what_if(self, request: SliceRequest) -> dict:
+        """Evaluate a hypothetical request without committing anything.
+
+        The demo dashboard "checks the infrastructure resources
+        availability in each domain" before a tenant confirms; this is
+        that probe.  Returns a per-domain feasibility report plus the
+        overall admission verdict the request would receive right now.
+        """
+        fraction = self.cold_start_fraction(request)
+        shrunk = self.shrunk_demand(request, fraction)
+        free = self.allocator.free_vector()
+        report: dict = {
+            "request_id": request.request_id,
+            "effective_fraction": fraction,
+            "demand": {"prbs": shrunk.prbs, "mbps": shrunk.mbps, "vcpus": shrunk.vcpus},
+        }
+        # Per-domain availability.
+        effective_prbs = max(1, round(shrunk.prbs))
+        enb_id = self.allocator.ran.best_enb_for(
+            request.sla.throughput_mbps, effective_prbs
+        )
+        report["ran"] = {"feasible": enb_id is not None, "enb": enb_id}
+        candidate_dcs: list = []
+        if enb_id is not None:
+            enb_node = self.allocator.ran.enb(enb_id).transport_node
+            candidate_dcs = self.allocator.candidate_datacenters(request, enb_node)
+        report["cloud"] = {
+            "feasible": bool(candidate_dcs),
+            "candidate_dcs": [dc.dc_id for dc in candidate_dcs],
+        }
+        report["transport"] = {"feasible": bool(candidate_dcs)}
+        decision = self.admission.decide(request, shrunk, free)
+        calendar_ok = True
+        if self.config.respect_calendar:
+            horizon = self.sim.now + request.sla.duration_s + self.config.deploy_time_s
+            calendar_ok = self.calendar.fits(shrunk, self.sim.now, horizon)
+        report["calendar"] = {"feasible": calendar_ok}
+        report["would_admit"] = bool(
+            decision.admitted and candidate_dcs and calendar_ok
+            and self.plmn_pool.available > 0
+        )
+        report["plmn_available"] = self.plmn_pool.available
+        return report
+
+    def modify_slice(self, slice_id: str, new_throughput_mbps: float) -> AdmissionDecision:
+        """Tenant-requested scaling of an ACTIVE slice's throughput SLA.
+
+        On success the slice keeps its cell, path, vEPC and PLMN; only
+        the reservations (and the tenant's traffic profile peak) change.
+        The price is *not* re-negotiated — pricing policy is out of the
+        demo's scope.
+
+        Returns:
+            An admission-style decision (admitted=False if the grow does
+            not fit; the slice then continues unchanged).
+        """
+        runtime = self._runtimes.get(slice_id)
+        if runtime is None or runtime.network_slice.state is not SliceState.ACTIVE:
+            return AdmissionDecision(
+                request_id=slice_id,
+                admitted=False,
+                reason="slice not active",
+            )
+        network_slice = runtime.network_slice
+        try:
+            self.allocator.modify_throughput(
+                network_slice, new_throughput_mbps, runtime.effective_fraction
+            )
+        except AllocationError as exc:
+            return AdmissionDecision(
+                request_id=slice_id, admitted=False, reason=str(exc)
+            )
+        # Update the SLA (frozen dataclass → replace) and the profile peak.
+        from repro.core.slices import SLA
+
+        old_sla = network_slice.request.sla
+        network_slice.request.sla = SLA(
+            throughput_mbps=new_throughput_mbps,
+            max_latency_ms=old_sla.max_latency_ms,
+            duration_s=old_sla.duration_s,
+            availability=old_sla.availability,
+        )
+        runtime.profile.peak_mbps = new_throughput_mbps
+        if self.calendar.has(network_slice.request.request_id):
+            self.calendar.update_demand(
+                network_slice.request.request_id,
+                self.shrunk_demand(network_slice.request, runtime.effective_fraction),
+            )
+        self.metrics.record(
+            self.sim.now, "slice.modified_mbps", new_throughput_mbps, label=slice_id
+        )
+        return AdmissionDecision(
+            request_id=slice_id,
+            admitted=True,
+            reason=f"rescaled to {new_throughput_mbps:.1f} Mb/s",
+        )
+
+    # ------------------------------------------------------------------
+    # Monitoring + reconfiguration loop
+    # ------------------------------------------------------------------
+    def _monitoring_epoch(self) -> None:
+        self._epoch_counter += 1
+        now = self.sim.now
+        active = {
+            sid: rt
+            for sid, rt in self._runtimes.items()
+            if rt.network_slice.state is SliceState.ACTIVE
+        }
+        if self.config.self_healing:
+            self._heal_paths(active)
+        rng = self.streams.stream("demand-noise")
+        demands: Dict[str, float] = {}
+        priorities: Dict[str, int] = {}
+        for slice_id, runtime in active.items():
+            demands[slice_id] = runtime.profile.demand(now, rng)
+            priorities[slice_id] = runtime.network_slice.request.priority
+            runtime.last_demand_mbps = demands[slice_id]
+        delivered_ran = (
+            self.allocator.ran.serve_epoch(demands, priorities=priorities)
+            if demands
+            else {}
+        )
+        for slice_id, runtime in active.items():
+            network_slice = runtime.network_slice
+            demand = demands[slice_id]
+            delivered = delivered_ran.get(slice_id, 0.0)
+            delivered = min(delivered, self._transport_cap_mbps(runtime, demand))
+            runtime.last_delivered_mbps = delivered
+            nominal = network_slice.request.sla.throughput_mbps
+            violated = self.sla_monitor.check_epoch(slice_id, demand, delivered, nominal)
+            network_slice.record_epoch(violated)
+            if violated:
+                self.ledger.book_penalty(slice_id, network_slice.request.penalty_rate)
+            if isinstance(self.overbooking, AdaptiveOverbooking):
+                self.overbooking.observe(violated)
+            self.collector.record_slice_epoch(now, slice_id, demand, delivered, violated)
+        self.collector.collect_domains(now)
+        ran_util = self.allocator.ran.utilization()
+        self.gain_tracker.record(
+            now, ran_util["nominal_reserved"], max(1, ran_util["total_prbs"])
+        )
+        if self._epoch_counter % self.config.reconfig_every_epochs == 0:
+            self.calendar.prune_before(now)
+            self._reconfigure(active)
+
+    def _heal_paths(self, active: Dict[str, SliceRuntime]) -> None:
+        """Attempt transport re-routing for slices on failed links."""
+        from repro.transport.controller import TransportError
+
+        transport = self.allocator.transport
+        for slice_id, runtime in active.items():
+            allocation = runtime.network_slice.allocation
+            if allocation is None or transport.allocation_of(slice_id) is None:
+                continue
+            try:
+                if transport.path_healthy(slice_id):
+                    continue
+                new_transport = transport.repair_path(slice_id)
+            except TransportError:
+                # No feasible detour right now; the slice will violate
+                # its SLA until a link recovers — exactly the penalty
+                # the overbooking ledger accounts for.
+                self.metrics.record(self.sim.now, "slice.repair_failed", 1.0, label=slice_id)
+                continue
+            from repro.core.allocation import EndToEndAllocation
+
+            runtime.network_slice.allocation = EndToEndAllocation(
+                ran=allocation.ran,
+                transport=new_transport,
+                cloud=allocation.cloud,
+            )
+            self.metrics.record(self.sim.now, "slice.path_repaired", 1.0, label=slice_id)
+
+    def _transport_cap_mbps(self, runtime: SliceRuntime, demand: float) -> float:
+        """Throughput ceiling the transport path imposes this epoch.
+
+        A path traversing a failed link delivers nothing.  Otherwise the
+        slice is always entitled to its effective reservation; beyond
+        it, it may borrow the bottleneck link's residual (unused,
+        never-reserved) capacity.  Borrowed residual is not contended
+        between slices within one epoch — an approximation that slightly
+        favours transport, keeping the RAN the binding domain as in the
+        demo testbed.
+        """
+        allocation = runtime.network_slice.allocation
+        if allocation is None:
+            return 0.0
+        path = allocation.transport.path
+        if not path.link_ids:
+            return float("inf")
+        topo = self.allocator.transport.topology
+        if any(not topo.link(lid).up for lid in path.link_ids):
+            return 0.0
+        residual = min(topo.link(lid).residual_mbps for lid in path.link_ids)
+        return allocation.transport.effective_mbps + max(0.0, residual)
+
+    def _reconfigure(self, active: Dict[str, SliceRuntime]) -> None:
+        """Refit forecasters and resize effective reservations.
+
+        This is the "dynamic configuration solution that maximizes the
+        statistical multiplexing of network slices resources": slices
+        with enough history get their commitment shrunk to the
+        forecast's safe level; slices trending up are grown back toward
+        nominal (when capacity allows).
+        """
+        for slice_id, runtime in active.items():
+            history = self.collector.demand_history(slice_id)
+            if len(history) < self.config.min_history_for_forecast:
+                continue
+            if runtime.forecaster is None:
+                runtime.forecaster = self.forecaster_factory()
+            tail = history.tail(self.config.forecast_history_epochs)
+            try:
+                runtime.forecaster.fit(tail)
+            except ForecastError:
+                continue
+            nominal = runtime.network_slice.request.sla.throughput_mbps
+            decision = self.overbooking.decide(
+                slice_id, nominal, forecaster=runtime.forecaster
+            )
+            new_fraction = decision.fraction
+            if abs(new_fraction - runtime.effective_fraction) < 0.02:
+                continue
+            try:
+                self.allocator.resize(runtime.network_slice, new_fraction)
+                runtime.effective_fraction = new_fraction
+                self.metrics.record(
+                    self.sim.now, "slice.effective_fraction", new_fraction, label=slice_id
+                )
+                # Keep the calendar booking in step with the shrunk
+                # commitment, so admission sees the freed capacity.
+                request = runtime.network_slice.request
+                if self.calendar.has(request.request_id):
+                    self.calendar.update_demand(
+                        request.request_id, self.shrunk_demand(request, new_fraction)
+                    )
+            except AllocationError:
+                # Growing back may not fit if newcomers took the space —
+                # the overbooking risk surfaces as SLA violations instead.
+                continue
+
+    # ------------------------------------------------------------------
+    # Introspection (dashboard + tests)
+    # ------------------------------------------------------------------
+    def slice(self, slice_id: str) -> NetworkSlice:
+        """Lookup any slice ever submitted.
+
+        Raises:
+            OrchestratorError: If unknown.
+        """
+        try:
+            return self._all_slices[slice_id]
+        except KeyError:
+            raise OrchestratorError(f"unknown slice {slice_id}") from None
+
+    def active_slices(self) -> List[NetworkSlice]:
+        """Slices currently ACTIVE."""
+        return [
+            rt.network_slice
+            for rt in self._runtimes.values()
+            if rt.network_slice.state is SliceState.ACTIVE
+        ]
+
+    def runtime(self, slice_id: str) -> Optional[SliceRuntime]:
+        """Live runtime of an installed slice (None once expired)."""
+        return self._runtimes.get(slice_id)
+
+    def all_slices(self) -> List[NetworkSlice]:
+        """Every slice ever submitted, in submission order."""
+        return list(self._all_slices.values())
+
+    def snapshot(self) -> dict:
+        """Dashboard-ready state snapshot."""
+        ran_util = self.allocator.ran.utilization()
+        transport_util = self.allocator.transport.utilization()
+        cloud_util = self.allocator.cloud.utilization()
+        return {
+            "time": self.sim.now,
+            "slices": [s.to_dict() for s in self._all_slices.values()],
+            "active": len(self.active_slices()),
+            "ledger": self.ledger.summary(),
+            "violation_rate": self.sla_monitor.violation_rate(),
+            "multiplexing_gain": self.gain_tracker.gain(
+                ran_util["nominal_reserved"], max(1, ran_util["total_prbs"])
+            ),
+            "domains": {
+                "ran": ran_util,
+                "transport": {
+                    "total_capacity_mbps": transport_util["total_capacity_mbps"],
+                    "effective_reserved_mbps": transport_util["effective_reserved_mbps"],
+                    "nominal_reserved_mbps": transport_util["nominal_reserved_mbps"],
+                    "active_paths": transport_util["active_paths"],
+                },
+                "cloud": cloud_util,
+            },
+        }
+
+
+__all__ = [
+    "Orchestrator",
+    "OrchestratorConfig",
+    "OrchestratorError",
+    "SliceRuntime",
+]

@@ -1,0 +1,12 @@
+"""Control dashboard.
+
+Text/JSON rendering of what the demo GUI shows: the installed slices
+with their state and SLA, per-domain resource utilization, and —
+front and center — the achieved multiplexing gain vs. accrued SLA
+penalties.
+"""
+
+from repro.dashboard.dashboard import Dashboard
+from repro.dashboard.reports import format_table, gain_vs_penalty_report
+
+__all__ = ["Dashboard", "format_table", "gain_vs_penalty_report"]

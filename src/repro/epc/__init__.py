@@ -1,0 +1,22 @@
+"""Virtualized Evolved Packet Core substrate.
+
+Replaces the demo's OpenEPC 7 deployment: each admitted slice gets its
+own vEPC instance — MME, HSS, SGW and PGW as VMs launched from a Heat
+template — and UEs provisioned with the slice's PLMN run the standard
+attach procedure against it, with latency accounted along the real
+control-plane path.
+"""
+
+from repro.epc.components import EPC_COMPONENT_FLAVORS, EpcComponentType, epc_template
+from repro.epc.instance import EpcInstance, EpcError
+from repro.epc.attach import AttachOutcome, AttachProcedure
+
+__all__ = [
+    "AttachOutcome",
+    "AttachProcedure",
+    "EPC_COMPONENT_FLAVORS",
+    "EpcComponentType",
+    "EpcError",
+    "EpcInstance",
+    "epc_template",
+]

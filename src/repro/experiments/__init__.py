@@ -1,0 +1,18 @@
+"""Experiment harness shared by the examples and benchmarks.
+
+:func:`build_testbed` reconstructs the Fig. 2 demo testbed in
+simulation; :class:`ScenarioRunner` drives a full workload through an
+orchestrator and aggregates the metrics every D-experiment reports.
+"""
+
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.experiments.runner import ScenarioConfig, ScenarioResult, ScenarioRunner
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "Testbed",
+    "TestbedConfig",
+    "build_testbed",
+]

@@ -1,0 +1,107 @@
+"""Result export: scenario results to CSV / JSON for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import ScenarioResult
+
+
+class ExportError(RuntimeError):
+    """Raised on malformed export inputs."""
+
+
+RESULT_FIELDS = [
+    "requests",
+    "admitted",
+    "rejected",
+    "acceptance_ratio",
+    "gross_revenue",
+    "total_penalties",
+    "net_revenue",
+    "rejected_revenue",
+    "violation_rate",
+    "mean_multiplexing_gain",
+    "peak_multiplexing_gain",
+    "events_processed",
+    "final_active_slices",
+]
+
+
+def results_to_csv(
+    results: Sequence[ScenarioResult],
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize scenario results as CSV (one row per result).
+
+    Args:
+        results: Results to serialize.
+        labels: Optional per-result label column (e.g. the sweep value).
+
+    Raises:
+        ExportError: If labels are given but mismatch results in length.
+    """
+    if labels is not None and len(labels) != len(results):
+        raise ExportError(
+            f"{len(labels)} labels for {len(results)} results"
+        )
+    buffer = io.StringIO()
+    fieldnames = (["label"] if labels is not None else []) + RESULT_FIELDS
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    for i, result in enumerate(results):
+        row = {field: getattr(result, field) for field in RESULT_FIELDS}
+        if labels is not None:
+            row["label"] = labels[i]
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def results_to_json(
+    results: Sequence[ScenarioResult],
+    labels: Optional[Sequence[str]] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize scenario results as a JSON array of objects."""
+    if labels is not None and len(labels) != len(results):
+        raise ExportError(
+            f"{len(labels)} labels for {len(results)} results"
+        )
+    payload: List[dict] = []
+    for i, result in enumerate(results):
+        row = {field: getattr(result, field) for field in RESULT_FIELDS}
+        if labels is not None:
+            row["label"] = labels[i]
+        payload.append(row)
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a unicode sparkline of a series (dashboard gain history).
+
+    Values are min-max normalized onto eight block heights; the series
+    is resampled to at most ``width`` points by striding.
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width <= 0:
+        raise ExportError(f"width must be positive, got {width}")
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return blocks[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)
+
+
+__all__ = ["ExportError", "RESULT_FIELDS", "results_to_csv", "results_to_json", "sparkline"]

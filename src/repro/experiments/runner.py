@@ -1,0 +1,143 @@
+"""Scenario runner: one workload through one orchestrator configuration.
+
+Every D-experiment is a sweep over :class:`ScenarioConfig` fields; the
+runner builds a fresh testbed, wires an orchestrator with the requested
+policies, drives a Poisson request workload for the horizon, and
+returns the aggregate :class:`ScenarioResult` the benchmark tables are
+printed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.admission import AdmissionPolicy, FcfsPolicy
+from repro.core.forecasting import Forecaster, HoltWintersForecaster
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.core.overbooking import NoOverbooking, OverbookingPolicy
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.generator import RequestGenerator, RequestMix
+
+
+@dataclass
+class ScenarioConfig:
+    """One experiment point.
+
+    Attributes:
+        horizon_s: Simulated duration.
+        arrival_rate_per_s: Poisson request rate λ.
+        seed: Root random seed.
+        admission: Admission policy (fresh instance per scenario).
+        overbooking: Overbooking policy (fresh instance per scenario).
+        forecaster_factory: Per-slice forecaster constructor.
+        mix: Vertical request mixture.
+        testbed: Testbed sizing.
+        orchestrator: Orchestration-loop tunables.
+    """
+
+    horizon_s: float = 4 * 3_600.0
+    arrival_rate_per_s: float = 1.0 / 300.0
+    seed: int = 0
+    admission: Optional[AdmissionPolicy] = None
+    overbooking: Optional[OverbookingPolicy] = None
+    forecaster_factory: Optional[Callable[[], Forecaster]] = None
+    mix: Optional[RequestMix] = None
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    orchestrator: OrchestratorConfig = field(default_factory=OrchestratorConfig)
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregates of one scenario run (the benchmark table row)."""
+
+    requests: int
+    admitted: int
+    rejected: int
+    acceptance_ratio: float
+    gross_revenue: float
+    total_penalties: float
+    net_revenue: float
+    rejected_revenue: float
+    violation_rate: float
+    mean_multiplexing_gain: float
+    peak_multiplexing_gain: float
+    events_processed: int
+    final_active_slices: int
+
+    def row(self) -> Dict[str, float]:
+        """Dict view for table printing."""
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "acceptance": self.acceptance_ratio,
+            "gross": self.gross_revenue,
+            "penalties": self.total_penalties,
+            "net": self.net_revenue,
+            "viol_rate": self.violation_rate,
+            "gain_mean": self.mean_multiplexing_gain,
+            "gain_peak": self.peak_multiplexing_gain,
+        }
+
+
+class ScenarioRunner:
+    """Builds and runs one scenario end-to-end."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.streams = RandomStreams(seed=config.seed)
+        self.sim = Simulator()
+        self.testbed: Testbed = build_testbed(config.testbed)
+        self.orchestrator = Orchestrator(
+            sim=self.sim,
+            allocator=self.testbed.allocator,
+            plmn_pool=self.testbed.plmn_pool,
+            admission=config.admission or FcfsPolicy(),
+            overbooking=config.overbooking or NoOverbooking(),
+            forecaster_factory=config.forecaster_factory
+            or (lambda: HoltWintersForecaster(season_length=24)),
+            config=config.orchestrator,
+            streams=self.streams,
+        )
+        self.generator = RequestGenerator(
+            rng=self.streams.stream("arrivals"),
+            arrival_rate_per_s=config.arrival_rate_per_s,
+            mix=config.mix,
+        )
+
+    def run(self) -> ScenarioResult:
+        """Drive the workload for the horizon and aggregate the result."""
+        self.orchestrator.start()
+        self.generator.drive(
+            self.sim,
+            self.config.horizon_s,
+            lambda request, profile: self.orchestrator.submit(request, profile),
+        )
+        self.sim.run_until(self.config.horizon_s)
+        self.orchestrator.stop()
+        ledger = self.orchestrator.ledger
+        return ScenarioResult(
+            requests=ledger.admissions + ledger.rejections,
+            admitted=ledger.admissions,
+            rejected=ledger.rejections,
+            acceptance_ratio=ledger.acceptance_ratio(),
+            gross_revenue=ledger.gross_revenue,
+            total_penalties=ledger.total_penalties,
+            net_revenue=ledger.net_revenue,
+            rejected_revenue=ledger.rejected_revenue,
+            violation_rate=self.orchestrator.sla_monitor.violation_rate(),
+            mean_multiplexing_gain=self.orchestrator.gain_tracker.mean_gain(),
+            peak_multiplexing_gain=self.orchestrator.gain_tracker.peak_gain(),
+            events_processed=self.sim.events_processed,
+            final_active_slices=len(self.orchestrator.active_slices()),
+        )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Convenience one-shot: build a runner and run it."""
+    return ScenarioRunner(config).run()
+
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "ScenarioRunner", "run_scenario"]

@@ -1,0 +1,109 @@
+"""Multi-seed replication with confidence intervals.
+
+Single-seed results can mislead; this helper replays a scenario across
+seeds and reports per-metric means with Student-t confidence intervals,
+the standard reporting discipline for simulation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+
+
+class StatsError(RuntimeError):
+    """Raised on malformed replication inputs."""
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and confidence interval of one metric across seeds."""
+
+    metric: str
+    mean: float
+    ci_low: float
+    ci_high: float
+    std: float
+    n: int
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def summarize(metric: str, values: Sequence[float], confidence: float = 0.95) -> MetricSummary:
+    """Mean ± t-interval of a sample.
+
+    Raises:
+        StatsError: On an empty sample or a bad confidence level.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise StatsError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise StatsError("cannot summarize an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1 or float(arr.std(ddof=1)) == 0.0:
+        return MetricSummary(metric, mean, mean, mean, 0.0, int(arr.size))
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    return MetricSummary(
+        metric=metric,
+        mean=mean,
+        ci_low=mean - t_crit * sem,
+        ci_high=mean + t_crit * sem,
+        std=float(arr.std(ddof=1)),
+        n=int(arr.size),
+    )
+
+
+def replicate(
+    config_factory: Callable[[int], ScenarioConfig],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, MetricSummary]:
+    """Run one scenario across seeds; summarize every result-row metric.
+
+    Args:
+        config_factory: Builds the scenario config for a given seed
+            (everything but the seed should be held fixed).
+        seeds: Seeds to replicate over (≥ 1).
+        confidence: CI level.
+
+    Returns:
+        metric name → :class:`MetricSummary`.
+
+    Raises:
+        StatsError: If ``seeds`` is empty.
+    """
+    if not seeds:
+        raise StatsError("need at least one seed")
+    rows: List[Dict[str, float]] = []
+    for seed in seeds:
+        result: ScenarioResult = run_scenario(config_factory(seed))
+        rows.append(result.row())
+    metrics = rows[0].keys()
+    return {
+        metric: summarize(metric, [row[metric] for row in rows], confidence)
+        for metric in metrics
+    }
+
+
+def summaries_table(summaries: Dict[str, MetricSummary]) -> str:
+    """Render replication summaries as an aligned text table."""
+    from repro.dashboard.reports import format_table
+
+    rows = [
+        [s.metric, s.mean, s.ci_low, s.ci_high, s.std, s.n]
+        for s in summaries.values()
+    ]
+    return format_table(["metric", "mean", "ci_low", "ci_high", "std", "n"], rows)
+
+
+__all__ = ["MetricSummary", "StatsError", "replicate", "summaries_table", "summarize"]

@@ -1,0 +1,163 @@
+"""Canonical simulated testbed mirroring the demo's Fig. 2.
+
+Layout (all links duplex):
+
+    enb1-agg ──mmWave──┐
+    enb1-agg ──µwave───┤
+                       ├── of-switch ──fiber── edge-dc-gw   (edge DC)
+    enb2-agg ──mmWave──┤        │
+    enb2-agg ──µwave───┘        └────fiber──── core-rtr ──fiber── core-dc-gw  (core DC)
+
+Two 20 MHz eNBs (100 PRBs each, ~49 Mb/s at the reference CQI, MOCN ×6),
+parallel mmWave (1 Gb/s, 1 ms)
+and µwave (400 Mb/s, 2 ms) wireless transport into the OpenFlow switch,
+an edge DC hanging off the switch and a core DC two fibre hops away
+(+5 ms on the core router hop, modelling the metro backhaul).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cloud.controller import CloudController
+from repro.cloud.datacenter import ComputeNode, Datacenter, DatacenterTier
+from repro.cloud.placement import BestFitPlacement, PlacementPolicy
+from repro.core.allocation import MultiDomainAllocator
+from repro.core.slices import PlmnPool
+from repro.ran.controller import RanController
+from repro.ran.enb import ENodeB
+from repro.transport.controller import TransportController
+from repro.transport.links import LinkKind
+from repro.transport.switch import OpenFlowSwitch
+from repro.transport.topology import Topology
+
+
+@dataclass
+class TestbedConfig:
+    """Knobs of the canonical testbed.
+
+    Defaults reproduce the demo deployment; benchmarks scale them.
+    """
+
+    __test__ = False  # name starts with "Test" but this is not a test class
+
+    n_enbs: int = 2
+    enb_bandwidth_mhz: float = 20.0
+    max_plmns_per_enb: int = 6
+    mmwave_capacity_mbps: float = 1_000.0
+    mmwave_delay_ms: float = 1.0
+    microwave_capacity_mbps: float = 400.0
+    microwave_delay_ms: float = 2.0
+    edge_nodes: int = 2
+    edge_vcpus_per_node: int = 16
+    core_nodes: int = 4
+    core_vcpus_per_node: int = 32
+    core_extra_delay_ms: float = 5.0
+    edge_processing_delay_ms: float = 0.5
+    core_processing_delay_ms: float = 1.0
+    plmn_pool_size: int = 12
+    placement: Optional[PlacementPolicy] = None
+
+
+@dataclass
+class Testbed:
+    """The wired-up controllers and allocator of one testbed instance."""
+
+    __test__ = False  # name starts with "Test" but this is not a test class
+
+    config: TestbedConfig
+    ran: RanController
+    transport: TransportController
+    cloud: CloudController
+    allocator: MultiDomainAllocator
+    plmn_pool: PlmnPool
+    switch: OpenFlowSwitch
+    enbs: List[ENodeB] = field(default_factory=list)
+
+
+def build_testbed(config: Optional[TestbedConfig] = None) -> Testbed:
+    """Construct the Fig. 2 testbed (or a scaled variant)."""
+    config = config or TestbedConfig()
+    # --- RAN --------------------------------------------------------
+    enbs = [
+        ENodeB(
+            enb_id=f"enb{i + 1}",
+            bandwidth_mhz=config.enb_bandwidth_mhz,
+            max_plmns=config.max_plmns_per_enb,
+            transport_node=f"enb{i + 1}-agg",
+        )
+        for i in range(config.n_enbs)
+    ]
+    ran = RanController(enbs)
+    # --- Transport ---------------------------------------------------
+    topology = Topology()
+    switch = OpenFlowSwitch("of-switch", n_ports=48)
+    for enb in enbs:
+        topology.add_duplex(
+            f"{enb.enb_id}-mmwave",
+            enb.transport_node,
+            "of-switch",
+            kind=LinkKind.MMWAVE,
+            capacity_mbps=config.mmwave_capacity_mbps,
+            delay_ms=config.mmwave_delay_ms,
+        )
+        topology.add_duplex(
+            f"{enb.enb_id}-uwave",
+            enb.transport_node,
+            "of-switch",
+            kind=LinkKind.MICROWAVE,
+            capacity_mbps=config.microwave_capacity_mbps,
+            delay_ms=config.microwave_delay_ms,
+        )
+    topology.add_duplex(
+        "switch-edge", "of-switch", "edge-dc-gw", kind=LinkKind.FIBER
+    )
+    topology.add_duplex(
+        "switch-core-rtr",
+        "of-switch",
+        "core-rtr",
+        kind=LinkKind.FIBER,
+        delay_ms=config.core_extra_delay_ms,
+    )
+    topology.add_duplex("core-rtr-dc", "core-rtr", "core-dc-gw", kind=LinkKind.FIBER)
+    transport = TransportController(topology, switches=[switch])
+    # --- Cloud -------------------------------------------------------
+    edge_dc = Datacenter(
+        "edge-dc",
+        DatacenterTier.EDGE,
+        nodes=[
+            ComputeNode(f"edge-node{i + 1}", vcpus=config.edge_vcpus_per_node)
+            for i in range(config.edge_nodes)
+        ],
+        gateway_node="edge-dc-gw",
+        processing_delay_ms=config.edge_processing_delay_ms,
+    )
+    core_dc = Datacenter(
+        "core-dc",
+        DatacenterTier.CORE,
+        nodes=[
+            ComputeNode(f"core-node{i + 1}", vcpus=config.core_vcpus_per_node)
+            for i in range(config.core_nodes)
+        ],
+        gateway_node="core-dc-gw",
+        processing_delay_ms=config.core_processing_delay_ms,
+    )
+    cloud = CloudController(
+        [edge_dc, core_dc], placement=config.placement or BestFitPlacement()
+    )
+    allocator = MultiDomainAllocator(ran, transport, cloud)
+    plmn_pool = PlmnPool(size=config.plmn_pool_size)
+    return Testbed(
+        config=config,
+        ran=ran,
+        transport=transport,
+        cloud=cloud,
+        allocator=allocator,
+        plmn_pool=plmn_pool,
+        switch=switch,
+        enbs=enbs,
+    )
+
+
+__all__ = ["Testbed", "TestbedConfig", "build_testbed"]

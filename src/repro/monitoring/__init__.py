@@ -1,0 +1,19 @@
+"""Monitoring substrate: time-series storage and telemetry collection.
+
+The demo's orchestrator "collects information about network utilization"
+through the domain controllers' REST APIs and feeds it to the
+forecasting engine.  This package provides the in-memory time-series
+store, a metrics registry, and the periodic collector that snapshots
+every domain each monitoring epoch.
+"""
+
+from repro.monitoring.timeseries import TimeSeries, TimeSeriesError
+from repro.monitoring.metrics import MetricsRegistry
+from repro.monitoring.collector import TelemetryCollector
+
+__all__ = [
+    "MetricsRegistry",
+    "TelemetryCollector",
+    "TimeSeries",
+    "TimeSeriesError",
+]

@@ -1,0 +1,90 @@
+"""Periodic telemetry collector.
+
+Every monitoring epoch the collector snapshots the three domain
+controllers (the "real-time monitoring" box of Fig. 1) and records the
+numbers the rest of the system feeds on: per-slice demand and delivered
+throughput for the forecaster and SLA monitor, and per-domain
+utilization for the dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.monitoring.metrics import MetricsRegistry
+
+
+class TelemetryCollector:
+    """Snapshots domain controllers into a :class:`MetricsRegistry`.
+
+    Args:
+        metrics: Destination registry.
+        ran: Object with a ``utilization() -> dict`` method (RAN controller).
+        transport: Likewise for the transport controller.
+        cloud: Likewise for the cloud controller.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        ran=None,
+        transport=None,
+        cloud=None,
+    ) -> None:
+        self.metrics = metrics
+        self.ran = ran
+        self.transport = transport
+        self.cloud = cloud
+        self.epochs_collected = 0
+
+    def collect_domains(self, t: float) -> Dict[str, dict]:
+        """Poll each controller's utilization API and record gauges.
+
+        Returns:
+            The raw per-domain snapshots (also useful to the dashboard).
+        """
+        snapshots: Dict[str, dict] = {}
+        if self.ran is not None:
+            snap = self.ran.utilization()
+            snapshots["ran"] = snap
+            total = max(1, snap["total_prbs"])
+            self.metrics.record(t, "ran.effective_utilization", snap["effective_reserved"] / total)
+            self.metrics.record(t, "ran.nominal_utilization", snap["nominal_reserved"] / total)
+        if self.transport is not None:
+            snap = self.transport.utilization()
+            snapshots["transport"] = snap
+            total = max(1e-9, snap["total_capacity_mbps"])
+            self.metrics.record(
+                t, "transport.effective_utilization", snap["effective_reserved_mbps"] / total
+            )
+            self.metrics.record(
+                t, "transport.nominal_utilization", snap["nominal_reserved_mbps"] / total
+            )
+        if self.cloud is not None:
+            snap = self.cloud.utilization()
+            snapshots["cloud"] = snap
+            total = max(1, snap["total_vcpus"])
+            used = total - snap["free_vcpus"]
+            self.metrics.record(t, "cloud.vcpu_utilization", used / total)
+        self.epochs_collected += 1
+        return snapshots
+
+    def record_slice_epoch(
+        self,
+        t: float,
+        slice_id: str,
+        demand_mbps: float,
+        delivered_mbps: float,
+        violated: bool,
+    ) -> None:
+        """Record one slice's epoch: demand, delivery and violation flag."""
+        self.metrics.record(t, "slice.demand_mbps", demand_mbps, label=slice_id)
+        self.metrics.record(t, "slice.delivered_mbps", delivered_mbps, label=slice_id)
+        self.metrics.record(t, "slice.violated", 1.0 if violated else 0.0, label=slice_id)
+
+    def demand_history(self, slice_id: str):
+        """The slice's demand series (for the forecaster)."""
+        return self.metrics.series("slice.demand_mbps", label=slice_id)
+
+
+__all__ = ["TelemetryCollector"]

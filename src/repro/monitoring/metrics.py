@@ -1,0 +1,91 @@
+"""Metrics registry: named time series with label support."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitoring.timeseries import TimeSeries
+
+
+class MetricsRegistry:
+    """Flat registry of named time series.
+
+    Metric keys follow ``"area.metric{label}"`` informally — e.g.
+    ``"slice.demand_mbps{slice-000001}"``.  The registry creates series
+    lazily and caps retention uniformly.
+    """
+
+    def __init__(self, max_points_per_series: Optional[int] = 10_000) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+        self._max_points = max_points_per_series
+
+    @staticmethod
+    def key(metric: str, label: str = "") -> str:
+        """Canonical series key for a metric + label pair."""
+        return f"{metric}{{{label}}}" if label else metric
+
+    def series(self, metric: str, label: str = "") -> TimeSeries:
+        """Get (creating if needed) the series for ``metric``/``label``."""
+        k = self.key(metric, label)
+        if k not in self._series:
+            self._series[k] = TimeSeries(name=k, max_points=self._max_points)
+        return self._series[k]
+
+    def record(self, t: float, metric: str, value: float, label: str = "") -> None:
+        """Append one sample."""
+        self.series(metric, label).append(t, value)
+
+    def has(self, metric: str, label: str = "") -> bool:
+        """Whether the series exists (has been recorded at least once)."""
+        return self.key(metric, label) in self._series
+
+    def latest(self, metric: str, label: str = "", default: float = 0.0) -> float:
+        """Most recent value, or ``default`` if the series is absent/empty."""
+        k = self.key(metric, label)
+        s = self._series.get(k)
+        if s is None or s.empty:
+            return default
+        return s.last()[1]
+
+    def names(self) -> List[str]:
+        """All series keys."""
+        return list(self._series)
+
+    def labels_of(self, metric: str) -> List[str]:
+        """Labels for which ``metric`` has a series."""
+        prefix = f"{metric}{{"
+        out = []
+        for k in self._series:
+            if k.startswith(prefix) and k.endswith("}"):
+                out.append(k[len(prefix):-1])
+        return out
+
+    def snapshot(self) -> Dict[str, Tuple[float, float]]:
+        """Latest (t, value) of every non-empty series."""
+        return {
+            k: s.last() for k, s in self._series.items() if not s.empty
+        }
+
+    def to_prometheus(self) -> str:
+        """Latest values in the Prometheus text exposition format.
+
+        ``area.metric{label}`` becomes ``area_metric{slice="label"}``;
+        timestamps are the simulation time in milliseconds.
+        """
+        lines = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            if series.empty:
+                continue
+            t, value = series.last()
+            if "{" in key:
+                metric, label = key[:-1].split("{", 1)
+                name = metric.replace(".", "_").replace("-", "_")
+                lines.append(f'{name}{{slice="{label}"}} {value} {int(t * 1000)}')
+            else:
+                name = key.replace(".", "_").replace("-", "_")
+                lines.append(f"{name} {value} {int(t * 1000)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = ["MetricsRegistry"]

@@ -1,0 +1,37 @@
+"""Radio access network substrate.
+
+Replaces the demo's two NEC MB4420 LTE small cells with a
+standards-derived model: 3GPP CQI→MCS mapping, PRB grids per channel
+bandwidth, MOCN multi-PLMN broadcast with per-slice PRB reservations,
+UE populations with stochastic channel quality, MAC schedulers and the
+RAN domain controller the orchestrator talks to.
+"""
+
+from repro.ran.channel import CqiEntry, CQI_TABLE, ChannelModel, efficiency_for_cqi
+from repro.ran.prb import PRB_GRID, PrbGrid, prbs_for_bandwidth
+from repro.ran.enb import ENodeB, RanConfigError
+from repro.ran.ue import UserEquipment, AttachState
+from repro.ran.scheduler import (
+    RoundRobinScheduler,
+    ProportionalFairScheduler,
+    SliceAwareScheduler,
+)
+from repro.ran.controller import RanController
+
+__all__ = [
+    "AttachState",
+    "CQI_TABLE",
+    "ChannelModel",
+    "CqiEntry",
+    "ENodeB",
+    "PRB_GRID",
+    "PrbGrid",
+    "ProportionalFairScheduler",
+    "RanConfigError",
+    "RanController",
+    "RoundRobinScheduler",
+    "SliceAwareScheduler",
+    "UserEquipment",
+    "efficiency_for_cqi",
+    "prbs_for_bandwidth",
+]

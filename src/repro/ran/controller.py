@@ -1,0 +1,257 @@
+"""RAN domain controller.
+
+One of the three hierarchical controllers of Fig. 1.  It owns every eNB,
+answers the orchestrator's availability queries, installs/resizes/
+removes per-slice PRB reservations, runs the slice-aware scheduler each
+monitoring epoch and reports delivered throughput per slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.slices import PLMN
+from repro.ran.enb import ENodeB, RanConfigError
+from repro.ran.scheduler import SliceAwareScheduler
+
+
+@dataclass(frozen=True)
+class RanAllocation:
+    """Result of installing a slice on the RAN.
+
+    Attributes:
+        enb_id: Serving cell.
+        nominal_prbs: PRBs the SLA implies at the dimensioning CQI.
+        effective_prbs: PRBs actually committed (post-overbooking).
+        latency_ms: RAN-segment latency contribution (HARQ + scheduling).
+    """
+
+    enb_id: str
+    nominal_prbs: int
+    effective_prbs: int
+    latency_ms: float
+
+
+#: One-way user-plane latency of the LTE access segment (scheduling + HARQ).
+RAN_SEGMENT_LATENCY_MS = 4.0
+
+
+class RanController:
+    """Controller managing a fleet of eNBs."""
+
+    def __init__(self, enbs: Optional[List[ENodeB]] = None) -> None:
+        self._enbs: Dict[str, ENodeB] = {}
+        self._placement: Dict[str, str] = {}  # slice_id -> enb_id
+        for enb in enbs or []:
+            self.add_enb(enb)
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def add_enb(self, enb: ENodeB) -> None:
+        """Register a cell with the controller."""
+        if enb.enb_id in self._enbs:
+            raise RanConfigError(f"duplicate eNB id {enb.enb_id}")
+        self._enbs[enb.enb_id] = enb
+
+    def enb(self, enb_id: str) -> ENodeB:
+        """Lookup a cell by id."""
+        try:
+            return self._enbs[enb_id]
+        except KeyError:
+            raise RanConfigError(f"unknown eNB {enb_id}") from None
+
+    def enbs(self) -> List[ENodeB]:
+        """All registered cells."""
+        return list(self._enbs.values())
+
+    def serving_enb_of(self, slice_id: str) -> Optional[str]:
+        """Cell currently hosting ``slice_id`` (None if not installed)."""
+        return self._placement.get(slice_id)
+
+    # ------------------------------------------------------------------
+    # Availability / admission support
+    # ------------------------------------------------------------------
+    def free_prbs(self) -> Dict[str, int]:
+        """Per-cell physically free PRBs."""
+        return {enb_id: enb.grid.free_prbs for enb_id, enb in self._enbs.items()}
+
+    def best_enb_for(self, throughput_mbps: float, effective_prbs: int) -> Optional[str]:
+        """Pick the cell for a new slice: most free PRBs that still fit.
+
+        A cell qualifies if it has a free PLMN broadcast slot and at
+        least ``effective_prbs`` free PRBs.  Returns None when no cell
+        qualifies (the admission engine then rejects on the RAN domain).
+        """
+        best: Optional[str] = None
+        best_free = -1
+        for enb_id, enb in self._enbs.items():
+            if len(enb.installed_slices()) >= enb.max_plmns:
+                continue
+            free = enb.grid.free_prbs
+            if free >= effective_prbs and free > best_free:
+                best, best_free = enb_id, free
+        return best
+
+    # ------------------------------------------------------------------
+    # Slice lifecycle
+    # ------------------------------------------------------------------
+    def install_slice(
+        self,
+        slice_id: str,
+        plmn: PLMN,
+        throughput_mbps: float,
+        effective_fraction: float = 1.0,
+        enb_id: Optional[str] = None,
+    ) -> RanAllocation:
+        """Reserve radio resources for a slice.
+
+        Args:
+            slice_id: Slice to install.
+            plmn: PLMN identity to broadcast for it.
+            throughput_mbps: SLA throughput, converted to nominal PRBs at
+                the cell's reference CQI.
+            effective_fraction: Overbooking shrinkage in (0, 1]; the
+                effective reservation is ``ceil(nominal × fraction)``.
+            enb_id: Target cell; auto-selected when omitted.
+
+        Raises:
+            RanConfigError: If no cell can host the slice.
+        """
+        if not 0.0 < effective_fraction <= 1.0:
+            raise RanConfigError(
+                f"effective fraction must be in (0, 1], got {effective_fraction}"
+            )
+        if slice_id in self._placement:
+            raise RanConfigError(f"slice {slice_id} already installed")
+        # Dimension on any cell (reference CQI is uniform across the fleet).
+        if not self._enbs:
+            raise RanConfigError("no eNBs registered")
+        probe = next(iter(self._enbs.values()))
+        nominal = probe.prbs_for_throughput(throughput_mbps)
+        effective = max(1, round(nominal * effective_fraction))
+        target = enb_id or self.best_enb_for(throughput_mbps, effective)
+        if target is None:
+            raise RanConfigError(
+                f"no eNB can host {effective} PRBs for slice {slice_id}"
+            )
+        enb = self.enb(target)
+        nominal = enb.prbs_for_throughput(throughput_mbps)
+        effective = max(1, round(nominal * effective_fraction))
+        enb.install_slice(slice_id, plmn, nominal, effective)
+        self._placement[slice_id] = target
+        return RanAllocation(
+            enb_id=target,
+            nominal_prbs=nominal,
+            effective_prbs=effective,
+            latency_ms=RAN_SEGMENT_LATENCY_MS,
+        )
+
+    def resize_slice(self, slice_id: str, effective_prbs: int) -> None:
+        """Adjust the slice's effective PRBs (reconfiguration loop)."""
+        enb_id = self._placement.get(slice_id)
+        if enb_id is None:
+            raise RanConfigError(f"slice {slice_id} not installed")
+        self._enbs[enb_id].resize_slice(slice_id, effective_prbs)
+
+    def modify_slice(
+        self,
+        slice_id: str,
+        new_throughput_mbps: float,
+        effective_fraction: float = 1.0,
+    ) -> RanAllocation:
+        """Re-dimension an installed slice to a new SLA throughput.
+
+        Keeps the slice on its current cell (no handover); the nominal
+        PRB count is re-derived from the new throughput and the
+        effective commitment re-applied at ``effective_fraction``.
+
+        Raises:
+            RanConfigError: If the slice is unknown or the grown
+                commitment does not fit the cell.
+        """
+        enb_id = self._placement.get(slice_id)
+        if enb_id is None:
+            raise RanConfigError(f"slice {slice_id} not installed")
+        if not 0.0 < effective_fraction <= 1.0:
+            raise RanConfigError(
+                f"effective fraction must be in (0, 1], got {effective_fraction}"
+            )
+        enb = self._enbs[enb_id]
+        nominal = enb.prbs_for_throughput(new_throughput_mbps)
+        effective = max(1, round(nominal * effective_fraction))
+        try:
+            enb.grid.renominate(slice_id, nominal, effective)
+        except Exception as exc:
+            raise RanConfigError(str(exc)) from exc
+        return RanAllocation(
+            enb_id=enb_id,
+            nominal_prbs=nominal,
+            effective_prbs=effective,
+            latency_ms=RAN_SEGMENT_LATENCY_MS,
+        )
+
+    def remove_slice(self, slice_id: str) -> None:
+        """Release the slice's radio resources."""
+        enb_id = self._placement.pop(slice_id, None)
+        if enb_id is None:
+            raise RanConfigError(f"slice {slice_id} not installed")
+        self._enbs[enb_id].remove_slice(slice_id)
+
+    # ------------------------------------------------------------------
+    # Per-epoch service (monitoring input)
+    # ------------------------------------------------------------------
+    def serve_epoch(
+        self,
+        demands_mbps: Dict[str, float],
+        priorities: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, float]:
+        """Serve one epoch of traffic and return delivered Mb/s per slice.
+
+        Demands of slices installed on the same cell contend for that
+        cell's PRBs via :class:`SliceAwareScheduler`; unused reservations
+        are redistributed (to higher ``priorities`` first when given), so
+        delivered throughput can exceed a slice's effective reservation
+        when neighbours are idle.
+        """
+        delivered: Dict[str, float] = {}
+        for enb_id, enb in self._enbs.items():
+            local = {
+                s: demands_mbps[s]
+                for s in enb.installed_slices()
+                if s in demands_mbps
+            }
+            if not local:
+                continue
+            per_prb = enb.throughput_per_prb()
+            demands_prbs = {s: d / per_prb for s, d in local.items()}
+            reservations = {
+                s: enb.grid.reservation(s).effective for s in local
+            }
+            local_priorities = (
+                {s: priorities.get(s, 0) for s in local} if priorities else None
+            )
+            grants = SliceAwareScheduler(enb.grid.total_prbs).dispatch(
+                demands_prbs, reservations, priorities=local_priorities
+            )
+            for slice_id, prbs in grants.items():
+                delivered[slice_id] = prbs * per_prb
+        return delivered
+
+    def utilization(self) -> dict:
+        """Domain telemetry for the monitoring collector."""
+        return {
+            "domain": "ran",
+            "enbs": [enb.utilization() for enb in self._enbs.values()],
+            "total_prbs": sum(e.grid.total_prbs for e in self._enbs.values()),
+            "effective_reserved": sum(
+                e.grid.effective_reserved for e in self._enbs.values()
+            ),
+            "nominal_reserved": sum(
+                e.grid.nominal_reserved for e in self._enbs.values()
+            ),
+        }
+
+
+__all__ = ["RAN_SEGMENT_LATENCY_MS", "RanAllocation", "RanController"]

@@ -1,0 +1,191 @@
+"""MAC-layer schedulers.
+
+The orchestrator reserves PRBs per slice; *within* a slice, a MAC
+scheduler divides the slice's PRBs among its attached UEs each epoch.
+We provide the two textbook intra-slice disciplines (round-robin and
+proportional-fair) plus the inter-slice :class:`SliceAwareScheduler`
+that enforces reservations and redistributes a slice's unused PRBs —
+the mechanism that physically realizes multiplexing gain.
+
+Scheduling is epoch-granular (seconds, not 1 ms TTIs): each call
+produces an *average* PRB share over the epoch, which is the right
+granularity for admission/overbooking experiments and keeps simulations
+of days of traffic tractable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from repro.ran.channel import throughput_per_prb_mbps
+from repro.ran.ue import UserEquipment
+
+
+class SchedulerError(RuntimeError):
+    """Raised on scheduler misuse."""
+
+
+class IntraSliceScheduler(ABC):
+    """Splits one slice's PRB budget among its attached UEs for an epoch."""
+
+    @abstractmethod
+    def allocate(self, ues: List[UserEquipment], prbs: int) -> Dict[str, float]:
+        """Return imsi → average PRBs granted this epoch.
+
+        Only attached UEs with CQI ≥ 1 are eligible; the returned shares
+        sum to at most ``prbs``.
+        """
+
+    @staticmethod
+    def _eligible(ues: List[UserEquipment]) -> List[UserEquipment]:
+        return [ue for ue in ues if ue.attached and ue.channel.cqi() >= 1]
+
+
+class RoundRobinScheduler(IntraSliceScheduler):
+    """Equal PRB share to every eligible UE."""
+
+    def allocate(self, ues: List[UserEquipment], prbs: int) -> Dict[str, float]:
+        if prbs < 0:
+            raise SchedulerError(f"PRB budget cannot be negative, got {prbs}")
+        eligible = self._eligible(ues)
+        if not eligible or prbs == 0:
+            return {}
+        share = prbs / len(eligible)
+        return {ue.imsi: share for ue in eligible}
+
+
+class ProportionalFairScheduler(IntraSliceScheduler):
+    """PF scheduling at epoch granularity.
+
+    Classic PF maximizes Σ log(R_i); at epoch granularity with average
+    rates this reduces to weighting each UE by the ratio of its current
+    achievable rate to its exponentially-averaged past rate.  UEs that
+    recently got little service (low average) receive more PRBs.
+    """
+
+    def __init__(self, ewma_alpha: float = 0.2) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise SchedulerError(f"alpha must be in (0, 1], got {ewma_alpha}")
+        self.ewma_alpha = float(ewma_alpha)
+        self._avg_rate: Dict[str, float] = {}
+
+    def allocate(self, ues: List[UserEquipment], prbs: int) -> Dict[str, float]:
+        if prbs < 0:
+            raise SchedulerError(f"PRB budget cannot be negative, got {prbs}")
+        eligible = self._eligible(ues)
+        if not eligible or prbs == 0:
+            return {}
+        weights: Dict[str, float] = {}
+        for ue in eligible:
+            rate = throughput_per_prb_mbps(ue.channel.cqi())
+            avg = self._avg_rate.get(ue.imsi, rate)
+            weights[ue.imsi] = rate / max(avg, 1e-9)
+        total_weight = sum(weights.values())
+        grants = {imsi: prbs * w / total_weight for imsi, w in weights.items()}
+        # Update averages with the rate actually granted this epoch.
+        for ue in eligible:
+            granted_rate = grants[ue.imsi] * throughput_per_prb_mbps(ue.channel.cqi())
+            old = self._avg_rate.get(ue.imsi, granted_rate)
+            self._avg_rate[ue.imsi] = (
+                (1.0 - self.ewma_alpha) * old + self.ewma_alpha * granted_rate
+            )
+        return grants
+
+
+class SliceAwareScheduler:
+    """Inter-slice PRB dispatcher with unused-share redistribution.
+
+    Each epoch, every slice is first granted PRBs to cover its *demand*
+    (capped by its effective reservation).  PRBs a slice does not need
+    are pooled and redistributed proportionally to slices whose demand
+    exceeds their reservation — the statistical-multiplexing mechanism
+    that lets an overbooked cell still meet SLAs most of the time.
+    """
+
+    def __init__(self, total_prbs: int) -> None:
+        if total_prbs <= 0:
+            raise SchedulerError(f"total PRBs must be positive, got {total_prbs}")
+        self.total_prbs = int(total_prbs)
+
+    def dispatch(
+        self,
+        demands_prbs: Dict[str, float],
+        reservations: Dict[str, int],
+        priorities: Dict[str, int] = None,  # type: ignore[assignment]
+    ) -> Dict[str, float]:
+        """Grant PRBs per slice for one epoch.
+
+        Args:
+            demands_prbs: slice → PRBs needed to carry this epoch's demand.
+            reservations: slice → effective reserved PRBs (Σ ≤ total).
+            priorities: optional slice → QoS priority; spare capacity is
+                redistributed to higher-priority slices first (within a
+                priority level, proportionally to unmet demand).  Omitted
+                ⇒ all slices share one level.
+
+        Returns:
+            slice → granted PRBs.  Invariants: Σ grants ≤ total PRBs and
+            each grant ≤ demand (never give a slice more than it asked).
+
+        Raises:
+            SchedulerError: If reservations exceed the cell budget or the
+                maps disagree on slice ids.
+        """
+        if set(demands_prbs) != set(reservations):
+            raise SchedulerError("demand and reservation maps must cover the same slices")
+        if priorities is not None and set(priorities) != set(demands_prbs):
+            raise SchedulerError("priority map must cover the same slices")
+        reserved_total = sum(reservations.values())
+        if reserved_total > self.total_prbs:
+            raise SchedulerError(
+                f"reservations ({reserved_total}) exceed cell budget ({self.total_prbs})"
+            )
+        grants: Dict[str, float] = {}
+        unmet: Dict[str, float] = {}
+        pool = float(self.total_prbs - reserved_total)  # never-reserved PRBs
+        for slice_id, demand in demands_prbs.items():
+            if demand < 0:
+                raise SchedulerError(f"demand cannot be negative ({slice_id}: {demand})")
+            reserved = float(reservations[slice_id])
+            granted = min(demand, reserved)
+            grants[slice_id] = granted
+            pool += reserved - granted  # unused reservation joins the pool
+            if demand > reserved:
+                unmet[slice_id] = demand - reserved
+        # Redistribute pooled PRBs: strictly by descending priority level,
+        # water-filling proportionally to unmet demand within a level.
+        levels = sorted(
+            {(priorities or {}).get(s, 0) for s in unmet}, reverse=True
+        )
+        for level in levels:
+            if pool <= 1e-9:
+                break
+            level_unmet = {
+                s: u
+                for s, u in unmet.items()
+                if (priorities or {}).get(s, 0) == level and u > 1e-9
+            }
+            while pool > 1e-9 and level_unmet:
+                total_unmet = sum(level_unmet.values())
+                give = {
+                    s: min(u, pool * u / total_unmet) for s, u in level_unmet.items()
+                }
+                for slice_id, extra in give.items():
+                    grants[slice_id] += extra
+                    level_unmet[slice_id] -= extra
+                    unmet[slice_id] -= extra
+                pool -= sum(give.values())
+                level_unmet = {s: u for s, u in level_unmet.items() if u > 1e-9}
+                if all(extra <= 1e-12 for extra in give.values()):
+                    break
+        return grants
+
+
+__all__ = [
+    "IntraSliceScheduler",
+    "ProportionalFairScheduler",
+    "RoundRobinScheduler",
+    "SchedulerError",
+    "SliceAwareScheduler",
+]

@@ -1,0 +1,32 @@
+"""Traffic models: demand profiles, vertical presets and request arrivals.
+
+The overbooking engine only pays off when slice traffic is *bursty and
+time-varying* relative to its SLA reservation; this package provides the
+synthetic stand-in for the demo's live UE traffic — diurnal profiles with
+configurable peak-to-mean ratio and noise, plus per-vertical presets
+(eMBB, URLLC, mMTC, automotive, e-health) and a Poisson slice-request
+generator used by every experiment.
+"""
+
+from repro.traffic.patterns import (
+    ConstantProfile,
+    DiurnalProfile,
+    OnOffProfile,
+    SpikeProfile,
+    TrafficProfile,
+)
+from repro.traffic.verticals import VerticalSpec, VERTICALS, vertical_for
+from repro.traffic.generator import RequestGenerator, RequestMix
+
+__all__ = [
+    "ConstantProfile",
+    "DiurnalProfile",
+    "OnOffProfile",
+    "SpikeProfile",
+    "TrafficProfile",
+    "VerticalSpec",
+    "VERTICALS",
+    "vertical_for",
+    "RequestGenerator",
+    "RequestMix",
+]

@@ -1,0 +1,202 @@
+"""Per-vertical slice presets.
+
+The demo submits *heterogeneous* slice requests; these presets encode a
+plausible request distribution per vertical: SLA ranges (throughput,
+latency, duration), economics (price per Mb/s·hour, penalty multiplier)
+and the traffic shape its UEs generate.  Numbers follow common 5G
+service-class targets (e.g. URLLC latency ≤ 10 ms end-to-end, eMBB tens
+of Mb/s) rather than any single standard table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.slices import SLA, ServiceType, SliceRequest
+from repro.traffic.patterns import (
+    ConstantProfile,
+    DiurnalProfile,
+    OnOffProfile,
+    SpikeProfile,
+    TrafficProfile,
+)
+
+
+@dataclass(frozen=True)
+class VerticalSpec:
+    """Distribution of slice requests for one vertical industry.
+
+    Attributes:
+        service_type: The archetype tag placed on generated requests.
+        throughput_range_mbps: Uniform range for the SLA throughput.
+        latency_range_ms: Uniform range for the SLA latency bound.
+        duration_range_s: Uniform range for the slice lifetime.
+        price_per_mbps_hour: Revenue per reserved Mb/s per hour.
+        penalty_multiplier: Penalty-per-violation-epoch as a multiple of
+            the per-epoch price.
+        availability: SLA availability target.
+        users_range: Uniform integer range for expected UE count.
+        profile_factory: Builds the traffic profile given
+            (peak_mbps, rng) — rng randomizes phase/period only.
+    """
+
+    service_type: ServiceType
+    throughput_range_mbps: Tuple[float, float]
+    latency_range_ms: Tuple[float, float]
+    duration_range_s: Tuple[float, float]
+    price_per_mbps_hour: float
+    penalty_multiplier: float
+    availability: float
+    users_range: Tuple[int, int]
+    profile_factory: Callable[[float, np.random.Generator], TrafficProfile]
+
+    def sample_request(
+        self,
+        tenant_id: str,
+        rng: np.random.Generator,
+        arrival_time: float = 0.0,
+    ) -> SliceRequest:
+        """Draw one slice request from this vertical's distribution."""
+        thr = float(rng.uniform(*self.throughput_range_mbps))
+        lat = float(rng.uniform(*self.latency_range_ms))
+        dur = float(rng.uniform(*self.duration_range_s))
+        sla = SLA(
+            throughput_mbps=thr,
+            max_latency_ms=lat,
+            duration_s=dur,
+            availability=self.availability,
+        )
+        hours = dur / 3_600.0
+        price = self.price_per_mbps_hour * thr * hours
+        # Penalty per violation epoch, scaled so that violating every
+        # epoch of the slice's life forfeits penalty_multiplier × price.
+        epochs = max(1.0, dur / 60.0)
+        penalty_rate = self.penalty_multiplier * price / epochs
+        users = int(rng.integers(self.users_range[0], self.users_range[1] + 1))
+        return SliceRequest(
+            tenant_id=tenant_id,
+            service_type=self.service_type,
+            sla=sla,
+            price=price,
+            penalty_rate=penalty_rate,
+            arrival_time=arrival_time,
+            n_users=users,
+        )
+
+    def sample_profile(self, peak_mbps: float, rng: np.random.Generator) -> TrafficProfile:
+        """Build the traffic profile for a slice with SLA peak ``peak_mbps``."""
+        return self.profile_factory(peak_mbps, rng)
+
+
+def _embb_profile(peak: float, rng: np.random.Generator) -> TrafficProfile:
+    return DiurnalProfile(peak, base=0.15, phase=float(rng.uniform(0.0, 1.0)), noise_std=0.08)
+
+
+def _urllc_profile(peak: float, rng: np.random.Generator) -> TrafficProfile:
+    return SpikeProfile(
+        peak,
+        baseline=0.08,
+        spike_every_s=float(rng.uniform(300.0, 900.0)),
+        spike_duration_s=float(rng.uniform(10.0, 40.0)),
+        noise_std=0.05,
+    )
+
+
+def _mmtc_profile(peak: float, rng: np.random.Generator) -> TrafficProfile:
+    return OnOffProfile(
+        peak,
+        on_fraction=float(rng.uniform(0.15, 0.35)),
+        period_s=float(rng.uniform(1_800.0, 5_400.0)),
+        floor=0.05,
+        noise_std=0.1,
+    )
+
+
+def _automotive_profile(peak: float, rng: np.random.Generator) -> TrafficProfile:
+    # Road traffic peaks at commute hours: two bumps per day ≈ half-day period.
+    return DiurnalProfile(
+        peak,
+        base=0.1,
+        phase=float(rng.uniform(0.25, 0.45)),
+        period_s=43_200.0,
+        noise_std=0.1,
+    )
+
+
+def _ehealth_profile(peak: float, rng: np.random.Generator) -> TrafficProfile:
+    return ConstantProfile(peak, level=float(rng.uniform(0.3, 0.5)), noise_std=0.05)
+
+
+VERTICALS: Dict[ServiceType, VerticalSpec] = {
+    ServiceType.EMBB: VerticalSpec(
+        service_type=ServiceType.EMBB,
+        throughput_range_mbps=(10.0, 25.0),
+        latency_range_ms=(40.0, 100.0),
+        duration_range_s=(1_800.0, 14_400.0),
+        price_per_mbps_hour=1.0,
+        penalty_multiplier=1.5,
+        availability=0.95,
+        users_range=(20, 80),
+        profile_factory=_embb_profile,
+    ),
+    ServiceType.URLLC: VerticalSpec(
+        service_type=ServiceType.URLLC,
+        throughput_range_mbps=(2.0, 10.0),
+        latency_range_ms=(5.0, 15.0),
+        duration_range_s=(900.0, 7_200.0),
+        price_per_mbps_hour=6.0,
+        penalty_multiplier=4.0,
+        availability=0.99,
+        users_range=(5, 20),
+        profile_factory=_urllc_profile,
+    ),
+    ServiceType.MMTC: VerticalSpec(
+        service_type=ServiceType.MMTC,
+        throughput_range_mbps=(1.0, 5.0),
+        latency_range_ms=(100.0, 500.0),
+        duration_range_s=(3_600.0, 28_800.0),
+        price_per_mbps_hour=0.5,
+        penalty_multiplier=1.0,
+        availability=0.9,
+        users_range=(100, 500),
+        profile_factory=_mmtc_profile,
+    ),
+    ServiceType.AUTOMOTIVE: VerticalSpec(
+        service_type=ServiceType.AUTOMOTIVE,
+        throughput_range_mbps=(5.0, 20.0),
+        latency_range_ms=(10.0, 30.0),
+        duration_range_s=(1_800.0, 10_800.0),
+        price_per_mbps_hour=3.0,
+        penalty_multiplier=3.0,
+        availability=0.98,
+        users_range=(30, 120),
+        profile_factory=_automotive_profile,
+    ),
+    ServiceType.EHEALTH: VerticalSpec(
+        service_type=ServiceType.EHEALTH,
+        throughput_range_mbps=(3.0, 15.0),
+        latency_range_ms=(15.0, 50.0),
+        duration_range_s=(3_600.0, 21_600.0),
+        price_per_mbps_hour=4.0,
+        penalty_multiplier=3.5,
+        availability=0.99,
+        users_range=(10, 40),
+        profile_factory=_ehealth_profile,
+    ),
+}
+
+
+def vertical_for(service_type: ServiceType) -> VerticalSpec:
+    """Lookup the preset for ``service_type``.
+
+    Raises:
+        KeyError: If the service type has no preset (should not happen —
+            every :class:`ServiceType` member has an entry).
+    """
+    return VERTICALS[service_type]
+
+
+__all__ = ["VERTICALS", "VerticalSpec", "vertical_for"]

@@ -1,0 +1,39 @@
+"""Transport network substrate.
+
+Replaces the demo's mmWave/µwave wireless transport and NEC PF5240
+OpenFlow switch: a directed multigraph of capacitated, delay-annotated
+links, constrained shortest-path computation (CSPF + Yen's k-shortest
+paths), an OpenFlow-style switch abstraction with flow tables, and the
+transport domain controller that reserves per-slice paths meeting the
+SLA's delay and capacity bounds.
+"""
+
+from repro.transport.links import Link, LinkKind, LinkState
+from repro.transport.topology import Topology, TopologyError
+from repro.transport.paths import (
+    PathComputationError,
+    PathRequest,
+    ComputedPath,
+    constrained_shortest_path,
+    k_shortest_paths,
+)
+from repro.transport.switch import FlowEntry, FlowMatch, OpenFlowSwitch
+from repro.transport.controller import TransportAllocation, TransportController
+
+__all__ = [
+    "ComputedPath",
+    "FlowEntry",
+    "FlowMatch",
+    "Link",
+    "LinkKind",
+    "LinkState",
+    "OpenFlowSwitch",
+    "PathComputationError",
+    "PathRequest",
+    "Topology",
+    "TopologyError",
+    "TransportAllocation",
+    "TransportController",
+    "constrained_shortest_path",
+    "k_shortest_paths",
+]

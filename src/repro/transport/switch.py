@@ -1,0 +1,141 @@
+"""OpenFlow-style programmable switch.
+
+Models the demo's NEC ProgrammableFlow PF5240: a flow table whose
+entries match on slice markers (we match on PLMN-id, standing in for
+the VLAN/tunnel tags the real deployment used) and forward to an output
+port, with per-entry packet/byte counters and priority-ordered lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class SwitchError(RuntimeError):
+    """Raised on flow-table violations."""
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """Match fields of a flow entry (None = wildcard)."""
+
+    plmn_id: Optional[str] = None
+    in_port: Optional[int] = None
+
+    def matches(self, plmn_id: str, in_port: int) -> bool:
+        """Whether a packet with the given headers hits this match."""
+        if self.plmn_id is not None and self.plmn_id != plmn_id:
+            return False
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """Number of non-wildcard fields (tie-break within a priority)."""
+        return sum(1 for f in (self.plmn_id, self.in_port) if f is not None)
+
+
+@dataclass
+class FlowEntry:
+    """One row of the flow table."""
+
+    match: FlowMatch
+    out_port: int
+    priority: int = 100
+    slice_id: Optional[str] = None
+    packets: int = field(default=0, compare=False)
+    bytes: int = field(default=0, compare=False)
+
+
+class OpenFlowSwitch:
+    """Priority-ordered flow table with per-entry counters."""
+
+    def __init__(self, switch_id: str, n_ports: int = 48) -> None:
+        if n_ports <= 0:
+            raise SwitchError(f"port count must be positive, got {n_ports}")
+        self.switch_id = switch_id
+        self.n_ports = int(n_ports)
+        self._table: List[FlowEntry] = []
+
+    # ------------------------------------------------------------------
+    # Table management (the controller's job)
+    # ------------------------------------------------------------------
+    def install(self, entry: FlowEntry) -> None:
+        """Add a flow entry.
+
+        Raises:
+            SwitchError: On invalid ports or exact-duplicate match+priority.
+        """
+        if not 0 <= entry.out_port < self.n_ports:
+            raise SwitchError(f"out_port {entry.out_port} outside 0..{self.n_ports - 1}")
+        if entry.match.in_port is not None and not 0 <= entry.match.in_port < self.n_ports:
+            raise SwitchError(f"in_port {entry.match.in_port} outside port range")
+        for existing in self._table:
+            if existing.match == entry.match and existing.priority == entry.priority:
+                raise SwitchError(
+                    f"duplicate flow (match={entry.match}, priority={entry.priority})"
+                )
+        self._table.append(entry)
+        self._table.sort(key=lambda e: (-e.priority, -e.match.specificity))
+
+    def remove_slice_flows(self, slice_id: str) -> int:
+        """Delete all flows installed for ``slice_id``; returns count removed."""
+        before = len(self._table)
+        self._table = [e for e in self._table if e.slice_id != slice_id]
+        return before - len(self._table)
+
+    def flows(self) -> List[FlowEntry]:
+        """Current table, priority-ordered."""
+        return list(self._table)
+
+    def flows_of(self, slice_id: str) -> List[FlowEntry]:
+        """Flows belonging to one slice."""
+        return [e for e in self._table if e.slice_id == slice_id]
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def lookup(self, plmn_id: str, in_port: int) -> Optional[FlowEntry]:
+        """Highest-priority entry matching the packet (None = table miss)."""
+        if not 0 <= in_port < self.n_ports:
+            raise SwitchError(f"in_port {in_port} outside port range")
+        for entry in self._table:
+            if entry.match.matches(plmn_id, in_port):
+                return entry
+        return None
+
+    def forward(self, plmn_id: str, in_port: int, n_bytes: int = 1_500) -> Optional[int]:
+        """Forward one packet; returns the output port or None on miss.
+
+        Updates the matched entry's counters.
+        """
+        entry = self.lookup(plmn_id, in_port)
+        if entry is None:
+            return None
+        entry.packets += 1
+        entry.bytes += int(n_bytes)
+        return entry.out_port
+
+    def stats(self) -> dict:
+        """Per-flow counters (telemetry)."""
+        return {
+            "switch_id": self.switch_id,
+            "n_flows": len(self._table),
+            "flows": [
+                {
+                    "slice_id": e.slice_id,
+                    "plmn_id": e.match.plmn_id,
+                    "in_port": e.match.in_port,
+                    "out_port": e.out_port,
+                    "priority": e.priority,
+                    "packets": e.packets,
+                    "bytes": e.bytes,
+                }
+                for e in self._table
+            ],
+        }
+
+
+__all__ = ["FlowEntry", "FlowMatch", "OpenFlowSwitch", "SwitchError"]

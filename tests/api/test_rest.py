@@ -1,0 +1,81 @@
+"""Tests for the in-process REST router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.rest import ApiError, Response, RestApi
+
+
+@pytest.fixture
+def api():
+    router = RestApi()
+    router.route("GET", "/things", lambda request: {"things": []})
+    router.route(
+        "GET", "/things/{thing_id}", lambda request: {"id": request.params["thing_id"]}
+    )
+    router.route(
+        "POST",
+        "/things",
+        lambda request: Response(status=201, body={"created": request.body}),
+    )
+    return router
+
+
+def test_static_route(api):
+    response = api.get("/things")
+    assert response.ok
+    assert response.body == {"things": []}
+
+
+def test_path_params_extracted(api):
+    response = api.get("/things/42")
+    assert response.body == {"id": "42"}
+
+
+def test_post_with_body(api):
+    response = api.post("/things", body={"name": "x"})
+    assert response.status == 201
+    assert response.body == {"created": {"name": "x"}}
+
+
+def test_404_on_unknown_path(api):
+    assert api.get("/nope").status == 404
+
+
+def test_405_on_wrong_method(api):
+    assert api.delete("/things").status == 405
+
+
+def test_handler_exception_becomes_500(api):
+    def boom(request):
+        raise RuntimeError("kaput")
+
+    api.route("GET", "/boom", boom)
+    response = api.get("/boom")
+    assert response.status == 500
+    assert "kaput" in response.body["error"]
+
+
+def test_duplicate_route_rejected(api):
+    with pytest.raises(ApiError):
+        api.route("GET", "/things", lambda request: {})
+
+
+def test_template_must_start_with_slash():
+    with pytest.raises(ApiError):
+        RestApi().route("GET", "things", lambda request: {})
+
+
+def test_routes_listing(api):
+    assert "GET /things" in api.routes()
+    assert "POST /things" in api.routes()
+
+
+def test_response_json_serialization():
+    response = Response(status=200, body={"b": 2, "a": 1})
+    assert response.json() == '{"a": 1, "b": 2}'
+
+
+def test_param_does_not_match_across_segments(api):
+    assert api.get("/things/1/extra").status == 404

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.slices import SLA, ServiceType, SliceRequest
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator at t=0."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic random-stream registry."""
+    return RandomStreams(seed=42)
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    """The canonical Fig. 2 testbed."""
+    return build_testbed(TestbedConfig())
+
+
+def make_request(
+    throughput_mbps: float = 20.0,
+    max_latency_ms: float = 50.0,
+    duration_s: float = 3_600.0,
+    price: float = 100.0,
+    penalty_rate: float = 1.0,
+    service_type: ServiceType = ServiceType.EMBB,
+    tenant: str = "tenant-a",
+    arrival_time: float = 0.0,
+    availability: float = 0.95,
+    n_users: int = 10,
+) -> SliceRequest:
+    """Build a slice request with sensible defaults (test helper)."""
+    return SliceRequest(
+        tenant_id=tenant,
+        service_type=service_type,
+        sla=SLA(
+            throughput_mbps=throughput_mbps,
+            max_latency_ms=max_latency_ms,
+            duration_s=duration_s,
+            availability=availability,
+        ),
+        price=price,
+        penalty_rate=penalty_rate,
+        arrival_time=arrival_time,
+        n_users=n_users,
+    )
+
+
+@pytest.fixture
+def request_factory():
+    """Expose :func:`make_request` as a fixture."""
+    return make_request

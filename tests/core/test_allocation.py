@@ -1,0 +1,175 @@
+"""Tests for the multi-domain allocator on the canonical testbed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.datacenter import DatacenterTier
+from repro.core.allocation import AllocationError
+from repro.core.slices import NetworkSlice
+from tests.conftest import make_request
+
+
+def make_slice(testbed, **kwargs) -> NetworkSlice:
+    network_slice = NetworkSlice(make_request(**kwargs))
+    network_slice.plmn = testbed.plmn_pool.allocate(network_slice.slice_id)
+    return network_slice
+
+
+class TestDemandVector:
+    def test_components_positive(self, testbed):
+        demand = testbed.allocator.demand_vector(make_request(throughput_mbps=20.0))
+        assert demand.prbs > 0
+        assert demand.mbps == 20.0
+        assert demand.vcpus == 6.0  # vEPC: 2×small(1) + 2×medium(2)
+
+    def test_prbs_scale_with_throughput(self, testbed):
+        small = testbed.allocator.demand_vector(make_request(throughput_mbps=5.0))
+        big = testbed.allocator.demand_vector(make_request(throughput_mbps=40.0))
+        assert big.prbs > small.prbs
+
+
+class TestFreeVector:
+    def test_initially_matches_testbed(self, testbed):
+        free = testbed.allocator.free_vector()
+        assert free.prbs == 100  # best single 20 MHz cell
+        assert free.mbps == pytest.approx(1_000.0)  # best eNB uplink (mmWave)
+        assert free.vcpus == 2 * 16 + 4 * 32  # edge + core
+
+    def test_shrinks_after_allocation(self, testbed):
+        before = testbed.allocator.free_vector()
+        network_slice = make_slice(testbed)
+        testbed.allocator.allocate(network_slice)
+        after = testbed.allocator.free_vector()
+        assert after.vcpus == before.vcpus - 6
+
+
+class TestAllocate:
+    def test_end_to_end_allocation(self, testbed):
+        network_slice = make_slice(testbed, throughput_mbps=20.0, max_latency_ms=50.0)
+        allocation = testbed.allocator.allocate(network_slice)
+        assert allocation.ran.effective_prbs > 0
+        assert allocation.transport.path.link_ids
+        assert allocation.cloud.dc_id in ("edge-dc", "core-dc")
+        assert allocation.total_latency_ms <= 50.0
+
+    def test_relaxed_latency_prefers_core(self, testbed):
+        network_slice = make_slice(testbed, max_latency_ms=100.0)
+        allocation = testbed.allocator.allocate(network_slice)
+        assert allocation.cloud.dc_id == "core-dc"
+
+    def test_tight_latency_forces_edge(self, testbed):
+        # RAN 4 ms + mmWave 1 ms + edge fiber 0.5 + processing 0.5 = 6 ms;
+        # the core DC is 5 ms farther and cannot fit in 8 ms.
+        network_slice = make_slice(testbed, max_latency_ms=8.0, throughput_mbps=5.0)
+        allocation = testbed.allocator.allocate(network_slice)
+        assert allocation.cloud.dc_id == "edge-dc"
+
+    def test_impossible_latency_rejected_with_domain(self, testbed):
+        network_slice = make_slice(testbed, max_latency_ms=4.5, throughput_mbps=5.0)
+        with pytest.raises(AllocationError) as excinfo:
+            testbed.allocator.allocate(network_slice)
+        assert excinfo.value.domain in ("cloud", "transport")
+
+    def test_throughput_beyond_any_cell_rejected(self, testbed):
+        # A 10 MHz cell at reference CQI sustains ~100 Mb/s.
+        network_slice = make_slice(testbed, throughput_mbps=500.0)
+        with pytest.raises(AllocationError) as excinfo:
+            testbed.allocator.allocate(network_slice)
+        assert excinfo.value.domain == "ran"
+
+    def test_failed_allocation_rolls_back_ran(self, testbed):
+        network_slice = make_slice(testbed, max_latency_ms=4.5, throughput_mbps=5.0)
+        with pytest.raises(AllocationError):
+            testbed.allocator.allocate(network_slice)
+        # Nothing leaked in any domain.
+        assert testbed.ran.serving_enb_of(network_slice.slice_id) is None
+        assert testbed.transport.allocation_of(network_slice.slice_id) is None
+        assert testbed.cloud.stack_of(network_slice.slice_id) is None
+
+    def test_missing_plmn_rejected(self, testbed):
+        network_slice = NetworkSlice(make_request())
+        with pytest.raises(AllocationError) as excinfo:
+            testbed.allocator.allocate(network_slice)
+        assert excinfo.value.domain == "orchestrator"
+
+    def test_effective_fraction_shrinks_commitments(self, testbed):
+        full = make_slice(testbed, throughput_mbps=40.0)
+        a_full = testbed.allocator.allocate(full)
+        shrunk = make_slice(testbed, throughput_mbps=40.0)
+        a_shrunk = testbed.allocator.allocate(shrunk, effective_fraction=0.5)
+        assert a_shrunk.ran.effective_prbs < a_full.ran.effective_prbs
+        assert a_shrunk.transport.effective_mbps == pytest.approx(20.0)
+        assert a_shrunk.ran.nominal_prbs == a_full.ran.nominal_prbs
+
+    def test_overbooking_admits_more_slices(self, testbed):
+        """With 50% shrink the two cells fit about twice the slices."""
+        count_full = 0
+        try:
+            while True:
+                s = make_slice(testbed, throughput_mbps=30.0)
+                testbed.allocator.allocate(s)
+                count_full += 1
+        except (AllocationError, Exception):
+            pass
+        from repro.experiments.testbed import build_testbed
+
+        testbed2 = build_testbed()
+        count_shrunk = 0
+        try:
+            while True:
+                s = make_slice(testbed2, throughput_mbps=30.0)
+                testbed2.allocator.allocate(s, effective_fraction=0.5)
+                count_shrunk += 1
+        except (AllocationError, Exception):
+            pass
+        assert count_shrunk > count_full
+
+
+class TestReleaseAndResize:
+    def test_release_returns_all_resources(self, testbed):
+        free_before = testbed.allocator.free_vector()
+        network_slice = make_slice(testbed)
+        testbed.allocator.allocate(network_slice)
+        testbed.allocator.release(network_slice)
+        free_after = testbed.allocator.free_vector()
+        assert free_after.prbs == free_before.prbs
+        assert free_after.mbps == pytest.approx(free_before.mbps)
+        assert free_after.vcpus == free_before.vcpus
+        assert network_slice.allocation is None
+
+    def test_resize_down_and_up(self, testbed):
+        network_slice = make_slice(testbed, throughput_mbps=40.0)
+        testbed.allocator.allocate(network_slice)
+        nominal_prbs = network_slice.allocation.ran.nominal_prbs
+        testbed.allocator.resize(network_slice, 0.5)
+        assert network_slice.allocation.ran.effective_prbs == max(1, round(nominal_prbs * 0.5))
+        testbed.allocator.resize(network_slice, 1.0)
+        assert network_slice.allocation.ran.effective_prbs == nominal_prbs
+
+    def test_resize_unallocated_rejected(self, testbed):
+        network_slice = make_slice(testbed)
+        with pytest.raises(AllocationError):
+            testbed.allocator.resize(network_slice, 0.5)
+
+    def test_resize_bad_fraction_rejected(self, testbed):
+        network_slice = make_slice(testbed)
+        testbed.allocator.allocate(network_slice)
+        with pytest.raises(AllocationError):
+            testbed.allocator.resize(network_slice, 0.0)
+
+
+class TestCandidateDatacenters:
+    def test_candidates_core_first(self, testbed):
+        request = make_request(max_latency_ms=100.0)
+        candidates = testbed.allocator.candidate_datacenters(request, "enb1-agg")
+        assert candidates[0].tier is DatacenterTier.CORE
+
+    def test_tight_budget_only_edge(self, testbed):
+        request = make_request(max_latency_ms=8.0, throughput_mbps=5.0)
+        candidates = testbed.allocator.candidate_datacenters(request, "enb1-agg")
+        assert [dc.tier for dc in candidates] == [DatacenterTier.EDGE]
+
+    def test_feasible_probe(self, testbed):
+        assert testbed.allocator.feasible(make_request())
+        assert not testbed.allocator.feasible(make_request(throughput_mbps=500.0))

@@ -1,0 +1,102 @@
+"""Tests for availability-aware SLA reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slices import NetworkSlice
+from tests.conftest import make_request
+
+
+class TestSlaMet:
+    def test_trivially_met_before_service(self):
+        assert NetworkSlice(make_request(availability=0.99)).sla_met()
+
+    def test_met_within_budget(self):
+        s = NetworkSlice(make_request(availability=0.9))
+        for _ in range(95):
+            s.record_epoch(False)
+        for _ in range(5):
+            s.record_epoch(True)
+        assert s.violation_ratio() == pytest.approx(0.05)
+        assert s.sla_met()
+
+    def test_breached_beyond_budget(self):
+        s = NetworkSlice(make_request(availability=0.9))
+        for _ in range(80):
+            s.record_epoch(False)
+        for _ in range(20):
+            s.record_epoch(True)
+        assert not s.sla_met()
+
+    def test_exact_boundary_counts_as_met(self):
+        s = NetworkSlice(make_request(availability=0.9))
+        for _ in range(90):
+            s.record_epoch(False)
+        for _ in range(10):
+            s.record_epoch(True)
+        assert s.sla_met()
+
+    def test_strict_availability_is_strict(self):
+        s = NetworkSlice(make_request(availability=0.999))
+        for _ in range(99):
+            s.record_epoch(False)
+        s.record_epoch(True)
+        assert not s.sla_met()
+
+    def test_to_dict_carries_sla_fields(self):
+        s = NetworkSlice(make_request(availability=0.97))
+        payload = s.to_dict()
+        assert payload["availability"] == 0.97
+        assert payload["sla_met"] is True
+        assert payload["priority"] >= 1
+
+
+class TestDashboardSlaColumn:
+    def test_breach_visible_in_table(self, testbed):
+        from repro.core.orchestrator import Orchestrator
+        from repro.dashboard.dashboard import Dashboard
+        from repro.sim.engine import Simulator
+        from repro.sim.randomness import RandomStreams
+        from repro.traffic.patterns import ConstantProfile
+
+        sim = Simulator()
+        orch = Orchestrator(
+            sim=sim,
+            allocator=testbed.allocator,
+            plmn_pool=testbed.plmn_pool,
+            streams=RandomStreams(seed=9),
+        )
+        orch.start()
+        request = make_request()
+        orch.submit(request, ConstantProfile(20.0, level=0.5, noise_std=0.0))
+        sim.run_until(120.0)
+        slice_id = request.request_id.replace("req-", "slice-")
+        # Force a breach by hand.
+        network_slice = orch.slice(slice_id)
+        for _ in range(50):
+            network_slice.record_epoch(True)
+        table = Dashboard(orch).slice_table()
+        assert "BREACH" in table
+
+    def test_gain_sparkline_rendered(self, testbed):
+        from repro.core.orchestrator import Orchestrator
+        from repro.dashboard.dashboard import Dashboard
+        from repro.sim.engine import Simulator
+        from repro.sim.randomness import RandomStreams
+        from repro.traffic.patterns import ConstantProfile
+
+        sim = Simulator()
+        orch = Orchestrator(
+            sim=sim,
+            allocator=testbed.allocator,
+            plmn_pool=testbed.plmn_pool,
+            streams=RandomStreams(seed=9),
+        )
+        orch.start()
+        request = make_request()
+        orch.submit(request, ConstantProfile(20.0, level=0.5))
+        sim.run_until(600.0)
+        dashboard = Dashboard(orch)
+        assert dashboard.gain_sparkline()
+        assert "gain history" in dashboard.headline()

@@ -1,0 +1,218 @@
+"""Tests for the forecasting engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.forecasting import (
+    ArForecaster,
+    EnsembleForecaster,
+    ForecastError,
+    HoltWintersForecaster,
+    MovingAverageForecaster,
+    NaiveForecaster,
+    evaluate_forecaster,
+)
+
+
+def diurnal_series(n_days: int = 4, samples_per_day: int = 24, noise: float = 0.0, seed: int = 0):
+    """Synthetic diurnal trace used across these tests."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_days * samples_per_day)
+    base = 50 + 40 * np.sin(2 * np.pi * t / samples_per_day)
+    return base + rng.normal(0, noise, size=t.size)
+
+
+class TestNaive:
+    def test_forecast_is_last_value(self):
+        f = NaiveForecaster().fit([1.0, 2.0, 7.0])
+        assert f.forecast(1) == 7.0
+        assert f.forecast(10) == 7.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ForecastError):
+            NaiveForecaster().forecast()
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ForecastError):
+            NaiveForecaster().fit([])
+
+    def test_nan_history_rejected(self):
+        with pytest.raises(ForecastError):
+            NaiveForecaster().fit([1.0, float("nan")])
+
+    def test_forecast_clipped_at_zero(self):
+        f = NaiveForecaster().fit([-5.0])
+        assert f.forecast(1) == 0.0
+
+    def test_bad_horizon_rejected(self):
+        f = NaiveForecaster().fit([1.0])
+        with pytest.raises(ForecastError):
+            f.forecast(0)
+
+
+class TestMovingAverage:
+    def test_forecast_is_window_mean(self):
+        f = MovingAverageForecaster(window=3).fit([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert f.forecast(1) == pytest.approx(4.0)
+
+    def test_window_larger_than_history(self):
+        f = MovingAverageForecaster(window=100).fit([2.0, 4.0])
+        assert f.forecast(1) == pytest.approx(3.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ForecastError):
+            MovingAverageForecaster(window=0)
+
+    def test_smooths_noise_better_than_naive(self):
+        series = diurnal_series(noise=15.0, seed=3)
+        constant = 50 + np.random.default_rng(1).normal(0, 10, 200)
+        ma = evaluate_forecaster(MovingAverageForecaster(window=20), constant)
+        naive = evaluate_forecaster(NaiveForecaster(), constant)
+        assert ma["mae"] < naive["mae"]
+
+
+class TestAr:
+    def test_fits_linear_trend_well(self):
+        series = np.arange(50, dtype=float)
+        f = ArForecaster(order=2).fit(series)
+        assert f.forecast(1) == pytest.approx(50.0, abs=0.5)
+
+    def test_short_history_falls_back_to_naive(self):
+        f = ArForecaster(order=5).fit([3.0, 4.0])
+        assert f.forecast(1) == 4.0
+
+    def test_multi_step_iterates(self):
+        series = np.arange(50, dtype=float)
+        f = ArForecaster(order=2).fit(series)
+        assert f.forecast(5) == pytest.approx(54.0, abs=1.0)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ForecastError):
+            ArForecaster(order=0)
+
+    def test_captures_sinusoid(self):
+        series = diurnal_series(n_days=6)
+        result = evaluate_forecaster(ArForecaster(order=8), series)
+        naive = evaluate_forecaster(NaiveForecaster(), series)
+        assert result["mae"] < naive["mae"]
+
+
+class TestHoltWinters:
+    def test_learns_seasonality(self):
+        series = diurnal_series(n_days=6)
+        hw = evaluate_forecaster(HoltWintersForecaster(season_length=24), series)
+        naive = evaluate_forecaster(NaiveForecaster(), series)
+        assert hw["mae"] < naive["mae"]
+
+    def test_seasonal_forecast_tracks_phase(self):
+        series = diurnal_series(n_days=6)
+        f = HoltWintersForecaster(season_length=24).fit(series)
+        # The next sample continues the sinusoid.
+        expected = 50 + 40 * math.sin(2 * math.pi * len(series) / 24)
+        assert f.forecast(1) == pytest.approx(expected, abs=8.0)
+
+    def test_short_history_uses_trend_only(self):
+        f = HoltWintersForecaster(season_length=24).fit([10.0, 11.0, 12.0])
+        assert f.forecast(1) > 10.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ForecastError):
+            HoltWintersForecaster(season_length=1)
+        with pytest.raises(ForecastError):
+            HoltWintersForecaster(alpha=0.0)
+        with pytest.raises(ForecastError):
+            HoltWintersForecaster(beta=1.0)
+
+    def test_constant_series_forecasts_constant(self):
+        f = HoltWintersForecaster(season_length=4).fit([5.0] * 20)
+        assert f.forecast(3) == pytest.approx(5.0, abs=0.1)
+
+
+class TestQuantiles:
+    def test_quantile_above_point_forecast(self):
+        series = diurnal_series(noise=5.0)
+        f = HoltWintersForecaster(season_length=24).fit(series)
+        assert f.forecast_quantile(1, 0.95) >= f.forecast(1)
+
+    def test_quantile_monotone_in_q(self):
+        series = diurnal_series(noise=5.0)
+        f = NaiveForecaster().fit(series)
+        q50 = f.forecast_quantile(1, 0.5)
+        q90 = f.forecast_quantile(1, 0.9)
+        q99 = f.forecast_quantile(1, 0.99)
+        assert q50 <= q90 <= q99
+
+    def test_quantile_widens_with_horizon(self):
+        series = diurnal_series(noise=5.0)
+        f = NaiveForecaster().fit(series)
+        assert f.forecast_quantile(4, 0.95) >= f.forecast_quantile(1, 0.95)
+
+    def test_bad_quantile_rejected(self):
+        f = NaiveForecaster().fit([1.0, 2.0])
+        with pytest.raises(ForecastError):
+            f.forecast_quantile(1, 0.0)
+        with pytest.raises(ForecastError):
+            f.forecast_quantile(1, 1.0)
+
+    def test_quantile_coverage_on_gaussian_noise(self):
+        """The 95% quantile should cover ≥ ~90% of next-step truths."""
+        rng = np.random.default_rng(7)
+        series = 50 + rng.normal(0, 5, 300)
+        covered = 0
+        total = 0
+        f = MovingAverageForecaster(window=30)
+        for origin in range(100, 290):
+            f.fit(series[:origin])
+            if series[origin] <= f.forecast_quantile(1, 0.95):
+                covered += 1
+            total += 1
+        assert covered / total >= 0.88
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=3, max_size=60
+        ),
+        q=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_quantile_never_negative(self, values, q):
+        f = NaiveForecaster().fit(values)
+        assert f.forecast_quantile(1, q) >= 0.0
+
+
+class TestEnsemble:
+    def test_picks_seasonal_model_on_diurnal_trace(self):
+        series = diurnal_series(n_days=8)
+        f = EnsembleForecaster().fit(series)
+        assert isinstance(f.selected, (HoltWintersForecaster, ArForecaster))
+
+    def test_forecast_matches_selected_member(self):
+        series = diurnal_series(n_days=4)
+        f = EnsembleForecaster().fit(series)
+        assert f.forecast(1) == pytest.approx(
+            max(0.0, f.selected._point_forecast(1))
+        )
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ForecastError):
+            EnsembleForecaster(members=[])
+
+
+class TestEvaluation:
+    def test_metrics_present(self):
+        result = evaluate_forecaster(NaiveForecaster(), diurnal_series())
+        assert set(result) == {"mae", "rmse", "mape", "n_evaluations"}
+        assert result["rmse"] >= result["mae"] * 0.99
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ForecastError):
+            evaluate_forecaster(NaiveForecaster(), [1.0, 2.0])
+
+    def test_perfect_forecaster_zero_error(self):
+        result = evaluate_forecaster(NaiveForecaster(), [5.0] * 50)
+        assert result["mae"] == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the trunk-reservation admission policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import (
+    AdmissionError,
+    ResourceVector,
+    TrunkReservationPolicy,
+)
+from repro.core.orchestrator import Orchestrator
+from repro.core.slices import ServiceType
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.patterns import ConstantProfile
+from tests.conftest import make_request
+
+CAP = ResourceVector(prbs=100.0, mbps=100.0, vcpus=100.0)
+
+
+def policy(headroom=0.2):
+    return TrunkReservationPolicy(capacity=CAP, headroom=headroom)
+
+
+class TestUnit:
+    def test_premium_admitted_into_headroom(self):
+        request = make_request(service_type=ServiceType.URLLC)  # priority 3
+        decision = policy().decide(
+            request, ResourceVector(prbs=10.0), ResourceVector(prbs=15.0, mbps=100, vcpus=100)
+        )
+        assert decision.admitted
+        assert "premium" in decision.reason
+
+    def test_low_priority_blocked_in_headroom(self):
+        request = make_request(service_type=ServiceType.EMBB)  # priority 1
+        # Free is 25%; after admitting 10 prbs only 15% would remain < 20%.
+        decision = policy(headroom=0.2).decide(
+            request, ResourceVector(prbs=10.0), ResourceVector(prbs=25.0, mbps=100, vcpus=100)
+        )
+        assert not decision.admitted
+        assert "headroom" in decision.reason
+
+    def test_low_priority_admitted_below_threshold(self):
+        request = make_request(service_type=ServiceType.EMBB)
+        decision = policy(headroom=0.2).decide(
+            request, ResourceVector(prbs=10.0), ResourceVector(prbs=50.0, mbps=100, vcpus=100)
+        )
+        assert decision.admitted
+
+    def test_premium_still_needs_physical_fit(self):
+        request = make_request(service_type=ServiceType.URLLC)
+        decision = policy().decide(
+            request, ResourceVector(prbs=20.0), ResourceVector(prbs=10.0, mbps=100, vcpus=100)
+        )
+        assert not decision.admitted
+
+    def test_zero_headroom_is_plain_fcfs(self):
+        request = make_request(service_type=ServiceType.EMBB)
+        decision = policy(headroom=0.0).decide(
+            request, ResourceVector(prbs=10.0), ResourceVector(prbs=10.0, mbps=100, vcpus=100)
+        )
+        assert decision.admitted
+
+    def test_bad_headroom_rejected(self):
+        with pytest.raises(AdmissionError):
+            TrunkReservationPolicy(capacity=CAP, headroom=1.0)
+
+
+class TestIntegration:
+    def test_premium_acceptance_survives_congestion(self, testbed):
+        """Fill the network with eMBB until trunk reservation blocks it,
+        then verify a URLLC request still gets in."""
+        sim = Simulator()
+        capacity = testbed.allocator.aggregate_capacity_vector()
+        orch = Orchestrator(
+            sim=sim,
+            allocator=testbed.allocator,
+            plmn_pool=testbed.plmn_pool,
+            admission=TrunkReservationPolicy(capacity=capacity, headroom=0.3),
+            streams=RandomStreams(seed=15),
+        )
+        orch.start()
+        embb_outcomes = []
+        for _ in range(6):
+            request = make_request(throughput_mbps=20.0, service_type=ServiceType.EMBB)
+            decision = orch.submit(request, ConstantProfile(20.0, level=0.4))
+            embb_outcomes.append(decision.admitted)
+        assert not all(embb_outcomes)  # headroom eventually blocks eMBB
+        urllc = make_request(
+            throughput_mbps=5.0,
+            service_type=ServiceType.URLLC,
+            max_latency_ms=8.0,
+        )
+        decision = orch.submit(urllc, ConstantProfile(5.0, level=0.3))
+        assert decision.admitted

@@ -1,0 +1,127 @@
+"""Tests for the what-if admission probe and metrics exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.routes import build_orchestrator_api
+from repro.core.orchestrator import Orchestrator
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.patterns import ConstantProfile
+from tests.conftest import make_request
+
+
+@pytest.fixture
+def orch(testbed):
+    sim = Simulator()
+    orchestrator = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        streams=RandomStreams(seed=13),
+    )
+    orchestrator.start()
+    return sim, orchestrator
+
+
+class TestWhatIf:
+    def test_feasible_request_would_admit(self, orch):
+        _, orchestrator = orch
+        report = orchestrator.what_if(make_request())
+        assert report["would_admit"]
+        assert report["ran"]["feasible"]
+        assert report["cloud"]["candidate_dcs"]
+        assert report["calendar"]["feasible"]
+
+    def test_probe_commits_nothing(self, orch):
+        _, orchestrator = orch
+        before = orchestrator.allocator.free_vector()
+        orchestrator.what_if(make_request())
+        after = orchestrator.allocator.free_vector()
+        assert before == after
+        assert orchestrator.ledger.admissions == 0
+        assert orchestrator.ledger.rejections == 0
+        assert orchestrator.plmn_pool.available == orchestrator.plmn_pool.capacity
+
+    def test_infeasible_ran_reported(self, orch):
+        _, orchestrator = orch
+        report = orchestrator.what_if(make_request(throughput_mbps=500.0))
+        assert not report["would_admit"]
+        assert not report["ran"]["feasible"]
+
+    def test_tight_latency_names_edge_only(self, orch):
+        _, orchestrator = orch
+        report = orchestrator.what_if(
+            make_request(throughput_mbps=5.0, max_latency_ms=8.0)
+        )
+        assert report["cloud"]["candidate_dcs"] == ["edge-dc"]
+
+    def test_calendar_conflict_reported(self, orch):
+        sim, orchestrator = orch
+        for _ in range(2):
+            advance = make_request(throughput_mbps=40.0, duration_s=7_200.0)
+            orchestrator.submit_advance(
+                advance, ConstantProfile(40.0, level=0.5), start_time=600.0
+            )
+        report = orchestrator.what_if(
+            make_request(throughput_mbps=40.0, duration_s=7_200.0)
+        )
+        assert not report["calendar"]["feasible"]
+        assert not report["would_admit"]
+
+    def test_whatif_route(self, orch):
+        _, orchestrator = orch
+        api = build_orchestrator_api(orchestrator)
+        response = api.post(
+            "/whatif",
+            body={
+                "service_type": "urllc",
+                "throughput_mbps": 5.0,
+                "max_latency_ms": 8.0,
+                "duration_s": 600.0,
+            },
+        )
+        assert response.ok
+        assert response.body["would_admit"]
+        assert response.json()
+
+    def test_whatif_route_validation(self, orch):
+        _, orchestrator = orch
+        api = build_orchestrator_api(orchestrator)
+        assert api.post("/whatif", body={}).status == 400
+        assert (
+            api.post(
+                "/whatif",
+                body={
+                    "service_type": "embb",
+                    "throughput_mbps": -1,
+                    "max_latency_ms": 10,
+                    "duration_s": 60,
+                },
+            ).status
+            == 400
+        )
+
+
+class TestPrometheusExport:
+    def test_format(self, orch):
+        sim, orchestrator = orch
+        request = make_request()
+        orchestrator.submit(request, ConstantProfile(20.0, level=0.5))
+        sim.run_until(120.0)
+        text = orchestrator.metrics.to_prometheus()
+        assert "ran_effective_utilization" in text
+        slice_id = request.request_id.replace("req-", "slice-")
+        assert f'slice_demand_mbps{{slice="{slice_id}"}}' in text
+        # Every line is "name[{labels}] value timestamp".
+        for line in text.strip().splitlines():
+            parts = line.rsplit(" ", 2)
+            assert len(parts) == 3
+            float(parts[1])
+            int(parts[2])
+
+    def test_empty_registry(self):
+        from repro.monitoring.metrics import MetricsRegistry
+
+        assert MetricsRegistry().to_prometheus() == ""

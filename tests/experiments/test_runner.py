@@ -1,0 +1,67 @@
+"""Tests for the scenario runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import KnapsackPolicy
+from repro.core.overbooking import FixedOverbooking, NoOverbooking
+from repro.experiments.runner import ScenarioConfig, ScenarioRunner, run_scenario
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        horizon_s=1_800.0,
+        arrival_rate_per_s=1 / 120.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def test_runner_produces_consistent_counts():
+    result = run_scenario(quick_config())
+    assert result.requests == result.admitted + result.rejected
+    assert 0.0 <= result.acceptance_ratio <= 1.0
+    assert result.net_revenue == pytest.approx(
+        result.gross_revenue - result.total_penalties
+    )
+    assert result.events_processed > 0
+
+
+def test_deterministic_given_seed():
+    a = run_scenario(quick_config())
+    b = run_scenario(quick_config())
+    assert a.row() == b.row()
+
+
+def test_seed_changes_outcome():
+    a = run_scenario(quick_config(seed=1))
+    b = run_scenario(quick_config(seed=2))
+    assert a.row() != b.row()
+
+
+def test_overbooking_raises_gain():
+    base = run_scenario(quick_config(overbooking=NoOverbooking()))
+    overbooked = run_scenario(quick_config(overbooking=FixedOverbooking(1.8)))
+    assert overbooked.peak_multiplexing_gain >= base.peak_multiplexing_gain
+
+
+def test_row_keys_stable():
+    result = run_scenario(quick_config())
+    assert set(result.row()) == {
+        "requests",
+        "admitted",
+        "acceptance",
+        "gross",
+        "penalties",
+        "net",
+        "viol_rate",
+        "gain_mean",
+        "gain_peak",
+    }
+
+
+def test_policies_pluggable():
+    result = run_scenario(quick_config(admission=KnapsackPolicy()))
+    assert result.requests > 0

@@ -1,0 +1,87 @@
+"""Tests for multi-seed replication statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ScenarioConfig
+from repro.experiments.stats import (
+    StatsError,
+    replicate,
+    summaries_table,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_interval(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, 50)
+        summary = summarize("x", sample)
+        assert summary.mean == pytest.approx(10.0, abs=1.0)
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.n == 50
+
+    def test_single_value_degenerate_interval(self):
+        summary = summarize("x", [5.0])
+        assert summary.mean == summary.ci_low == summary.ci_high == 5.0
+        assert summary.ci_half_width == 0.0
+
+    def test_constant_sample_zero_width(self):
+        summary = summarize("x", [3.0] * 10)
+        assert summary.ci_half_width == 0.0
+        assert summary.std == 0.0
+
+    def test_higher_confidence_wider_interval(self):
+        sample = list(np.random.default_rng(1).normal(0, 1, 30))
+        narrow = summarize("x", sample, confidence=0.8)
+        wide = summarize("x", sample, confidence=0.99)
+        assert wide.ci_half_width > narrow.ci_half_width
+
+    def test_coverage_calibration(self):
+        """~95% of 95% CIs should contain the true mean."""
+        rng = np.random.default_rng(2)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(7.0, 3.0, 15)
+            summary = summarize("x", sample, confidence=0.95)
+            if summary.ci_low <= 7.0 <= summary.ci_high:
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(StatsError):
+            summarize("x", [])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(StatsError):
+            summarize("x", [1.0], confidence=1.0)
+
+
+class TestReplicate:
+    def test_replication_over_seeds(self):
+        summaries = replicate(
+            lambda seed: ScenarioConfig(
+                horizon_s=1_200.0, arrival_rate_per_s=1 / 120.0, seed=seed
+            ),
+            seeds=[0, 1, 2],
+        )
+        assert "net" in summaries and "acceptance" in summaries
+        assert summaries["net"].n == 3
+        assert summaries["acceptance"].ci_low <= summaries["acceptance"].mean
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(StatsError):
+            replicate(lambda seed: ScenarioConfig(), seeds=[])
+
+    def test_table_rendering(self):
+        summaries = replicate(
+            lambda seed: ScenarioConfig(
+                horizon_s=600.0, arrival_rate_per_s=1 / 120.0, seed=seed
+            ),
+            seeds=[0, 1],
+        )
+        table = summaries_table(summaries)
+        assert "metric" in table and "ci_low" in table

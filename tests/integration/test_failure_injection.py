@@ -1,0 +1,120 @@
+"""Failure-injection integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orchestrator import Orchestrator
+from repro.core.slices import SliceState
+from repro.experiments.testbed import TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.patterns import ConstantProfile
+from tests.conftest import make_request
+
+
+def build_orchestrator(testbed):
+    sim = Simulator()
+    orch = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        streams=RandomStreams(seed=8),
+    )
+    orch.start()
+    return sim, orch
+
+
+class TestLinkFailures:
+    def test_mmwave_down_reroutes_via_microwave(self, testbed):
+        """With the fast link down, slices still deploy over µwave."""
+        for enb in testbed.enbs:
+            testbed.transport.topology.link(f"{enb.enb_id}-mmwave-fwd").fail()
+            testbed.transport.topology.link(f"{enb.enb_id}-mmwave-rev").fail()
+        sim, orch = build_orchestrator(testbed)
+        request = make_request(throughput_mbps=15.0, max_latency_ms=60.0)
+        decision = orch.submit(request, ConstantProfile(15.0, level=0.5))
+        assert decision.admitted
+        slice_id = request.request_id.replace("req-", "slice-")
+        path_links = orch.slice(slice_id).allocation.transport.path.link_ids
+        assert any("uwave" in lid for lid in path_links)
+
+    def test_all_uplinks_down_rejects(self, testbed):
+        for enb in testbed.enbs:
+            for prefix in ("mmwave", "uwave"):
+                testbed.transport.topology.link(f"{enb.enb_id}-{prefix}-fwd").fail()
+        sim, orch = build_orchestrator(testbed)
+        request = make_request()
+        decision = orch.submit(request, ConstantProfile(20.0, level=0.5))
+        assert not decision.admitted
+        # Nothing leaked: PLMN pool back to full.
+        assert testbed.plmn_pool.available == testbed.plmn_pool.capacity
+
+    def test_microwave_down_tightens_capacity(self, testbed):
+        """µwave carries 400 Mb/s; losing it halves redundancy but mmWave
+        still serves new slices."""
+        testbed.transport.topology.link("enb1-uwave-fwd").fail()
+        sim, orch = build_orchestrator(testbed)
+        request = make_request(throughput_mbps=15.0)
+        assert orch.submit(request, ConstantProfile(15.0, level=0.5)).admitted
+
+
+class TestComputeExhaustion:
+    def test_tiny_edge_and_core_reject_epc(self):
+        testbed = build_testbed(
+            TestbedConfig(edge_nodes=1, edge_vcpus_per_node=2, core_nodes=1, core_vcpus_per_node=2)
+        )
+        sim, orch = build_orchestrator(testbed)
+        request = make_request()  # vEPC needs 6 vCPUs
+        decision = orch.submit(request, ConstantProfile(20.0, level=0.5))
+        assert not decision.admitted
+        assert testbed.ran.serving_enb_of(request.request_id.replace("req-", "slice-")) is None
+
+    def test_edge_fills_then_rejects_tight_latency(self):
+        """Latency-tight slices need the edge DC; once it is full they are
+        rejected even though the core has room."""
+        testbed = build_testbed(
+            TestbedConfig(edge_nodes=1, edge_vcpus_per_node=7)  # one vEPC (6 vCPUs)
+        )
+        sim, orch = build_orchestrator(testbed)
+        first = make_request(throughput_mbps=5.0, max_latency_ms=8.0)
+        assert orch.submit(first, ConstantProfile(5.0, level=0.5)).admitted
+        second = make_request(throughput_mbps=5.0, max_latency_ms=8.0)
+        assert not orch.submit(second, ConstantProfile(5.0, level=0.5)).admitted
+        # A latency-relaxed request still goes to the core.
+        third = make_request(throughput_mbps=5.0, max_latency_ms=80.0)
+        assert orch.submit(third, ConstantProfile(5.0, level=0.5)).admitted
+
+
+class TestPlmnExhaustion:
+    def test_pool_limits_concurrent_slices(self):
+        testbed = build_testbed(TestbedConfig(plmn_pool_size=2))
+        sim, orch = build_orchestrator(testbed)
+        outcomes = []
+        for _ in range(3):
+            request = make_request(throughput_mbps=5.0, duration_s=600.0)
+            outcomes.append(
+                orch.submit(request, ConstantProfile(5.0, level=0.3)).admitted
+            )
+        assert outcomes == [True, True, False]
+        # After one expires, the PLMN is reusable.
+        sim.run_until(700.0)
+        request = make_request(throughput_mbps=5.0)
+        assert orch.submit(request, ConstantProfile(5.0, level=0.3)).admitted
+
+
+class TestMidLifeLinkFailure:
+    def test_active_slice_survives_bookkeeping_on_failure(self, testbed):
+        """A link failing mid-life zeroes residuals but reservations and
+        teardown still work (no crash, resources reclaimed)."""
+        sim, orch = build_orchestrator(testbed)
+        request = make_request(duration_s=600.0)
+        orch.submit(request, ConstantProfile(20.0, level=0.5))
+        sim.run_until(120.0)
+        slice_id = request.request_id.replace("req-", "slice-")
+        path_links = orch.slice(slice_id).allocation.transport.path.link_ids
+        testbed.transport.topology.link(path_links[0]).fail()
+        sim.run_until(700.0)
+        assert orch.slice(slice_id).state is SliceState.EXPIRED
+        testbed.transport.topology.link(path_links[0]).restore()
+        assert testbed.transport.topology.link(path_links[0]).residual_mbps > 0

@@ -1,0 +1,170 @@
+"""Soak test: every feature running together over a simulated day.
+
+One scenario exercises at once: batch broker, advance bookings, adaptive
+overbooking driven by Holt-Winters forecasts, city-trace traffic,
+priority scheduling, a link-failure window with self-healing, one
+mid-life slice rescale — then asserts the global invariants still hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import KnapsackPolicy
+from repro.core.broker import SliceBroker
+from repro.core.forecasting import HoltWintersForecaster
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.core.overbooking import AdaptiveOverbooking
+from repro.core.slices import ServiceType, SliceState
+from repro.experiments.testbed import build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.traces import SyntheticCityTrace
+from tests.conftest import make_request
+
+HOUR = 3_600.0
+
+
+@pytest.fixture(scope="module")
+def soak_run():
+    testbed = build_testbed()
+    sim = Simulator()
+    streams = RandomStreams(seed=99)
+    orch = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        overbooking=AdaptiveOverbooking(violation_budget=0.05),
+        forecaster_factory=lambda: HoltWintersForecaster(season_length=24),
+        config=OrchestratorConfig(
+            monitoring_epoch_s=300.0,
+            reconfig_every_epochs=4,
+            min_history_for_forecast=10,
+        ),
+        streams=streams,
+    )
+    orch.start()
+    broker = SliceBroker(orch, window_s=600.0, policy=KnapsackPolicy())
+    # Advance booking for the evening.
+    evening = make_request(
+        throughput_mbps=30.0,
+        duration_s=3 * HOUR,
+        price=300.0,
+        service_type=ServiceType.EMBB,
+    )
+    evening_decision = orch.submit_advance(
+        evening,
+        SyntheticCityTrace("residential").profile(
+            30.0, n_days=1, rng=streams.stream("evening")
+        ),
+        start_time=18.0 * HOUR,
+    )
+    # Day-time walk-ins through the broker (mixed land uses/verticals).
+    walk_ins = []
+    for i, (hour, land_use, stype, mbps) in enumerate(
+        [
+            (1.0, "office", ServiceType.EMBB, 15.0),
+            (2.0, "transport", ServiceType.AUTOMOTIVE, 8.0),
+            (3.0, "residential", ServiceType.EHEALTH, 6.0),
+            (4.0, "office", ServiceType.URLLC, 4.0),
+            (6.0, "residential", ServiceType.EMBB, 18.0),
+            (9.0, "office", ServiceType.MMTC, 3.0),
+        ]
+    ):
+        request = make_request(
+            throughput_mbps=mbps,
+            duration_s=10 * HOUR,
+            service_type=stype,
+            max_latency_ms=10.0 if stype is ServiceType.URLLC else 60.0,
+        )
+        walk_ins.append(request)
+        profile = SyntheticCityTrace(land_use).profile(
+            mbps, n_days=1, rng=streams.stream(f"trace-{i}")
+        )
+        sim.schedule_at(hour * HOUR, lambda r=request, p=profile: broker.submit(r, p))
+    # A link-failure window at midday; self-healing should absorb it.
+    topo = testbed.transport.topology
+    sim.schedule_at(12.0 * HOUR, lambda: topo.link("enb1-mmwave-fwd").fail())
+    sim.schedule_at(12.5 * HOUR, lambda: topo.link("enb1-mmwave-fwd").restore())
+    # Rescale the first walk-in mid-life.
+    sim.schedule_at(
+        7.0 * HOUR,
+        lambda: orch.modify_slice(
+            walk_ins[0].request_id.replace("req-", "slice-"), 20.0
+        ),
+    )
+    sim.run_until(23.0 * HOUR)
+    return testbed, orch, broker, evening, evening_decision, walk_ins
+
+
+class TestSoak:
+    def test_advance_booking_honoured(self, soak_run):
+        _, orch, _, evening, decision, _ = soak_run
+        assert decision.admitted
+        state = orch.slice(evening.request_id.replace("req-", "slice-")).state
+        assert state in (SliceState.ACTIVE, SliceState.EXPIRED)
+
+    def test_every_slice_in_legal_state(self, soak_run):
+        _, orch, _, _, _, _ = soak_run
+        for network_slice in orch.all_slices():
+            assert network_slice.state in (
+                SliceState.ACTIVE,
+                SliceState.DEPLOYING,
+                SliceState.EXPIRED,
+                SliceState.REJECTED,
+            )
+
+    def test_no_physical_overcommit(self, soak_run):
+        testbed, _, _, _, _, _ = soak_run
+        for enb in testbed.ran.enbs():
+            enb.grid.check_invariants()
+        for link in testbed.transport.topology.links():
+            assert link.effective_reserved_mbps <= link.capacity_mbps + 1e-6
+        for dc in testbed.cloud.datacenters():
+            for node in dc.nodes():
+                node.check_invariants()
+
+    def test_ledger_consistent(self, soak_run):
+        _, orch, _, _, _, _ = soak_run
+        ledger = orch.ledger
+        assert ledger.net_revenue == pytest.approx(
+            ledger.gross_revenue - ledger.total_penalties
+        )
+        assert ledger.admissions >= 4
+
+    def test_adaptive_kept_violations_low(self, soak_run):
+        _, orch, _, _, _, _ = soak_run
+        assert orch.sla_monitor.violation_rate() < 0.15
+
+    def test_rescale_applied(self, soak_run):
+        _, orch, _, _, _, walk_ins = soak_run
+        network_slice = orch.slice(walk_ins[0].request_id.replace("req-", "slice-"))
+        # Rescaled at 7 h to 20 Mb/s (slice may have expired since; SLA
+        # reflects the modification regardless).
+        assert network_slice.request.sla.throughput_mbps == 20.0
+
+    def test_self_healing_engaged_if_needed(self, soak_run):
+        testbed, orch, _, _, _, _ = soak_run
+        # If any active slice rode enb1's mmWave link at noon, it was
+        # repaired; otherwise no repair was needed. Either way no slice
+        # is stuck on a dead path now.
+        for network_slice in orch.active_slices():
+            path = network_slice.allocation.transport.path
+            for lid in path.link_ids:
+                assert testbed.transport.topology.link(lid).up
+
+    def test_dashboard_renders_after_soak(self, soak_run):
+        _, orch, _, _, _, _ = soak_run
+        from repro.dashboard.dashboard import Dashboard
+
+        rendered = Dashboard(orch).render()
+        assert "multiplexing gain" in rendered
+        assert orch.metrics.to_prometheus()
+
+    def test_forecast_driven_reconfigurations_happened(self, soak_run):
+        """At least one slice lived long enough for the forecaster to
+        resize its effective reservation (expired runtimes are dropped,
+        so check the recorded metric rather than live state)."""
+        _, orch, _, _, _, _ = soak_run
+        resized = orch.metrics.labels_of("slice.effective_fraction")
+        assert resized

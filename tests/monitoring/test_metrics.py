@@ -1,0 +1,86 @@
+"""Tests for the metrics registry and telemetry collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitoring.collector import TelemetryCollector
+from repro.monitoring.metrics import MetricsRegistry
+
+
+class TestRegistry:
+    def test_record_and_latest(self):
+        registry = MetricsRegistry()
+        registry.record(1.0, "x", 5.0)
+        registry.record(2.0, "x", 7.0)
+        assert registry.latest("x") == 7.0
+
+    def test_latest_default(self):
+        assert MetricsRegistry().latest("missing", default=-1.0) == -1.0
+
+    def test_labels_create_separate_series(self):
+        registry = MetricsRegistry()
+        registry.record(1.0, "demand", 5.0, label="s1")
+        registry.record(1.0, "demand", 9.0, label="s2")
+        assert registry.latest("demand", label="s1") == 5.0
+        assert registry.latest("demand", label="s2") == 9.0
+
+    def test_labels_of(self):
+        registry = MetricsRegistry()
+        registry.record(1.0, "demand", 5.0, label="s1")
+        registry.record(1.0, "demand", 9.0, label="s2")
+        registry.record(1.0, "other", 1.0)
+        assert sorted(registry.labels_of("demand")) == ["s1", "s2"]
+
+    def test_key_format(self):
+        assert MetricsRegistry.key("m", "l") == "m{l}"
+        assert MetricsRegistry.key("m") == "m"
+
+    def test_has(self):
+        registry = MetricsRegistry()
+        assert not registry.has("x")
+        registry.record(0.0, "x", 1.0)
+        assert registry.has("x")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.record(1.0, "a", 2.0)
+        assert registry.snapshot() == {"a": (1.0, 2.0)}
+
+    def test_retention_applied(self):
+        registry = MetricsRegistry(max_points_per_series=2)
+        for i in range(5):
+            registry.record(float(i), "x", float(i))
+        assert len(registry.series("x")) == 2
+
+
+class TestCollector:
+    def test_collect_domains_records_gauges(self, testbed):
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(
+            registry,
+            ran=testbed.ran,
+            transport=testbed.transport,
+            cloud=testbed.cloud,
+        )
+        snapshots = collector.collect_domains(10.0)
+        assert set(snapshots) == {"ran", "transport", "cloud"}
+        assert registry.has("ran.effective_utilization")
+        assert registry.has("transport.nominal_utilization")
+        assert registry.has("cloud.vcpu_utilization")
+        assert collector.epochs_collected == 1
+
+    def test_partial_controllers(self, testbed):
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry, ran=testbed.ran)
+        snapshots = collector.collect_domains(0.0)
+        assert set(snapshots) == {"ran"}
+
+    def test_record_slice_epoch(self):
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry)
+        collector.record_slice_epoch(5.0, "s1", demand_mbps=10.0, delivered_mbps=8.0, violated=True)
+        assert registry.latest("slice.demand_mbps", label="s1") == 10.0
+        assert registry.latest("slice.violated", label="s1") == 1.0
+        history = collector.demand_history("s1")
+        assert len(history) == 1

@@ -1,0 +1,107 @@
+"""Tests for the time-series store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitoring.timeseries import TimeSeries, TimeSeriesError
+
+
+@pytest.fixture
+def series():
+    ts = TimeSeries("demand")
+    for i in range(10):
+        ts.append(float(i), float(i * 2))
+    return ts
+
+
+class TestAppend:
+    def test_append_and_len(self, series):
+        assert len(series) == 10
+        assert not series.empty
+
+    def test_out_of_order_rejected(self, series):
+        with pytest.raises(TimeSeriesError):
+            series.append(5.0, 1.0)
+
+    def test_equal_timestamps_allowed(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_retention_cap(self):
+        ts = TimeSeries(max_points=3)
+        for i in range(10):
+            ts.append(float(i), float(i))
+        assert len(ts) == 3
+        assert ts.values().tolist() == [7.0, 8.0, 9.0]
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries(max_points=0)
+
+
+class TestQueries:
+    def test_last(self, series):
+        assert series.last() == (9.0, 18.0)
+
+    def test_last_on_empty_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries().last()
+
+    def test_window_half_open(self, series):
+        window = series.window(2.0, 5.0)
+        assert [t for t, _ in window] == [2.0, 3.0, 4.0]
+
+    def test_bad_window_rejected(self, series):
+        with pytest.raises(TimeSeriesError):
+            series.window(5.0, 2.0)
+
+    def test_tail(self, series):
+        assert series.tail(3).tolist() == [14.0, 16.0, 18.0]
+        assert series.tail(100).size == 10
+        with pytest.raises(TimeSeriesError):
+            series.tail(0)
+
+    def test_stats(self, series):
+        assert series.mean() == pytest.approx(9.0)
+        assert series.std() > 0
+        assert series.quantile(0.5) == pytest.approx(9.0)
+        assert series.quantile(1.0) == 18.0
+
+    def test_stats_on_empty(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0
+        assert ts.std() == 0.0
+        with pytest.raises(TimeSeriesError):
+            ts.quantile(0.5)
+
+    def test_bad_quantile_rejected(self, series):
+        with pytest.raises(TimeSeriesError):
+            series.quantile(1.1)
+
+
+class TestResample:
+    def test_bins_average(self):
+        ts = TimeSeries()
+        ts.append(0.0, 10.0)
+        ts.append(0.5, 20.0)
+        ts.append(1.0, 30.0)
+        out = ts.resample(1.0)
+        assert out.tolist() == [15.0, 30.0]
+
+    def test_empty_bins_carry_forward(self):
+        ts = TimeSeries()
+        ts.append(0.0, 5.0)
+        ts.append(3.0, 9.0)
+        out = ts.resample(1.0)
+        assert out.tolist() == [5.0, 5.0, 5.0, 9.0]
+
+    def test_empty_series(self):
+        assert TimeSeries().resample(1.0).size == 0
+
+    def test_bad_period_rejected(self, series):
+        with pytest.raises(TimeSeriesError):
+            series.resample(0.0)

@@ -1,0 +1,159 @@
+"""Tests for the MAC schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.slices import PLMN
+from repro.ran.channel import ChannelModel
+from repro.ran.scheduler import (
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    SchedulerError,
+    SliceAwareScheduler,
+)
+from repro.ran.ue import UserEquipment
+
+
+def make_ues(n: int, mean_snr: float = 15.0, attach: bool = True):
+    plmn = PLMN("001", "01")
+    ues = []
+    for i in range(n):
+        channel = ChannelModel(mean_snr_db=mean_snr, volatility_db=0.0)
+        ue = UserEquipment(plmn, "s1", channel=channel)
+        if attach:
+            ue.start_search()
+            ue.found_cell("enb1")
+            ue.attach_complete(0.1)
+        ues.append(ue)
+    return ues
+
+
+class TestRoundRobin:
+    def test_equal_shares(self):
+        grants = RoundRobinScheduler().allocate(make_ues(4), prbs=20)
+        assert len(grants) == 4
+        assert all(share == pytest.approx(5.0) for share in grants.values())
+
+    def test_unattached_excluded(self):
+        ues = make_ues(2) + make_ues(2, attach=False)
+        grants = RoundRobinScheduler().allocate(ues, prbs=10)
+        assert len(grants) == 2
+
+    def test_out_of_coverage_excluded(self):
+        good = make_ues(1)
+        bad = make_ues(1, mean_snr=-30.0)
+        grants = RoundRobinScheduler().allocate(good + bad, prbs=10)
+        assert list(grants) == [good[0].imsi]
+
+    def test_empty_inputs(self):
+        assert RoundRobinScheduler().allocate([], 10) == {}
+        assert RoundRobinScheduler().allocate(make_ues(2), 0) == {}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SchedulerError):
+            RoundRobinScheduler().allocate(make_ues(1), -1)
+
+
+class TestProportionalFair:
+    def test_shares_sum_to_budget(self):
+        grants = ProportionalFairScheduler().allocate(make_ues(5), prbs=30)
+        assert sum(grants.values()) == pytest.approx(30.0)
+
+    def test_starved_ue_catches_up(self):
+        """A UE that got nothing for a while should receive a larger share."""
+        scheduler = ProportionalFairScheduler(ewma_alpha=0.5)
+        ues = make_ues(2)
+        # Warm up with only the first UE present.
+        for _ in range(10):
+            scheduler.allocate(ues[:1], prbs=10)
+        grants = scheduler.allocate(ues, prbs=10)
+        assert grants[ues[1].imsi] >= grants[ues[0].imsi]
+
+    def test_equal_history_equal_grants(self):
+        grants = ProportionalFairScheduler().allocate(make_ues(4), prbs=20)
+        values = list(grants.values())
+        assert max(values) - min(values) < 1e-9
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(SchedulerError):
+            ProportionalFairScheduler(ewma_alpha=0.0)
+
+
+class TestSliceAware:
+    def test_grants_capped_by_demand(self):
+        scheduler = SliceAwareScheduler(total_prbs=100)
+        grants = scheduler.dispatch(
+            demands_prbs={"a": 10.0, "b": 5.0},
+            reservations={"a": 40, "b": 40},
+        )
+        assert grants["a"] == pytest.approx(10.0)
+        assert grants["b"] == pytest.approx(5.0)
+
+    def test_unused_reservation_redistributed(self):
+        scheduler = SliceAwareScheduler(total_prbs=100)
+        grants = scheduler.dispatch(
+            demands_prbs={"idle": 5.0, "hot": 90.0},
+            reservations={"idle": 50, "hot": 50},
+        )
+        assert grants["idle"] == pytest.approx(5.0)
+        assert grants["hot"] == pytest.approx(90.0)  # borrowed 40 + pool
+
+    def test_overload_leaves_shortfall(self):
+        scheduler = SliceAwareScheduler(total_prbs=100)
+        grants = scheduler.dispatch(
+            demands_prbs={"a": 80.0, "b": 80.0},
+            reservations={"a": 50, "b": 50},
+        )
+        assert sum(grants.values()) == pytest.approx(100.0)
+        assert grants["a"] == pytest.approx(80.0 * 100 / 160, abs=20)
+
+    def test_reservation_guarantee(self):
+        """A slice demanding exactly its reservation always gets it."""
+        scheduler = SliceAwareScheduler(total_prbs=100)
+        grants = scheduler.dispatch(
+            demands_prbs={"a": 50.0, "b": 999.0},
+            reservations={"a": 50, "b": 50},
+        )
+        assert grants["a"] == pytest.approx(50.0)
+
+    def test_mismatched_maps_rejected(self):
+        with pytest.raises(SchedulerError):
+            SliceAwareScheduler(100).dispatch({"a": 1.0}, {"b": 1})
+
+    def test_overcommitted_reservations_rejected(self):
+        with pytest.raises(SchedulerError):
+            SliceAwareScheduler(100).dispatch(
+                {"a": 1.0, "b": 1.0}, {"a": 60, "b": 60}
+            )
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(SchedulerError):
+            SliceAwareScheduler(100).dispatch({"a": -1.0}, {"a": 10})
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=200.0),  # demand
+                st.integers(min_value=1, max_value=30),  # reservation
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_property_grants_sound(self, data):
+        """Invariants: Σ grants ≤ budget; grant ≤ demand; grant ≥
+        min(demand, reservation)."""
+        total = 100
+        demands = {f"s{i}": d for i, (d, _) in enumerate(data)}
+        reservations = {f"s{i}": r for i, (_, r) in enumerate(data)}
+        if sum(reservations.values()) > total:
+            return  # infeasible input, covered by the rejection test
+        grants = SliceAwareScheduler(total).dispatch(demands, reservations)
+        assert sum(grants.values()) <= total + 1e-6
+        for slice_id, grant in grants.items():
+            assert grant <= demands[slice_id] + 1e-6
+            assert grant >= min(demands[slice_id], reservations[slice_id]) - 1e-6

@@ -1,0 +1,210 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator, every
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Simulator(start_time=10.0).now == 10.0
+
+    def test_schedule_fires_at_correct_time(self, sim):
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run_until(5.0)
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(2.0, lambda: None)
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(True))
+        sim.run_until(0.0)
+        assert fired == [True]
+
+    def test_run_until_advances_clock_past_queue(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_run_backwards_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_events_beyond_horizon_not_fired(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(15.0)
+        assert fired == [True]
+
+
+class TestOrdering:
+    def test_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run_until(2.0)
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=10)
+        sim.schedule(1.0, lambda: order.append("high"), priority=0)
+        sim.run_until(2.0)
+        assert order == ["high", "low"]
+
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(True))
+        handle.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self, sim):
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestExecution:
+    def test_step_returns_false_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_step_fires_single_event(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_run_returns_event_count(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run() == 5
+
+    def test_run_max_events(self, sim):
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 7
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append(sim.now)
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_events_processed_counter(self, sim):
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_processed == 4
+
+    def test_callback_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(1.0, lambda: chain(0))
+        sim.run_until(10.0)
+        assert fired == [0, 1, 2, 3]
+
+
+class TestTrace:
+    def test_trace_records_names(self, sim):
+        sim.enable_trace()
+        sim.schedule(1.0, lambda: None, name="alpha")
+        sim.schedule(2.0, lambda: None, name="beta")
+        sim.run_until(5.0)
+        assert sim.trace() == [(1.0, "alpha"), (2.0, "beta")]
+
+    def test_trace_empty_without_enable(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.trace() == []
+
+
+class TestEvery:
+    def test_periodic_fires_at_period_multiples(self, sim):
+        fired = []
+        every(sim, 2.0, lambda: fired.append(sim.now))
+        sim.run_until(7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_periodic_stop(self, sim):
+        fired = []
+        handle = every(sim, 1.0, lambda: fired.append(sim.now))
+        sim.schedule(2.5, handle.stop)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_periodic_custom_start(self, sim):
+        fired = []
+        every(sim, 5.0, lambda: fired.append(sim.now), start=1.0)
+        sim.run_until(12.0)
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_nonpositive_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            every(sim, 0.0, lambda: None)

@@ -1,0 +1,102 @@
+"""Tests for transport bandwidth re-nomination (incl. rollback paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.controller import TransportController, TransportError
+from repro.transport.links import Link
+from repro.transport.paths import PathRequest
+from repro.transport.topology import Topology
+
+
+@pytest.fixture
+def controller():
+    topo = Topology()
+    topo.add_link(Link("a-sw", "a", "sw", capacity_mbps=100, delay_ms=1))
+    topo.add_link(Link("sw-b", "sw", "b", capacity_mbps=100, delay_ms=1))
+    return TransportController(topo)
+
+
+def reserve(controller, bw=20.0):
+    return controller.reserve_path(
+        "s1", "00101", PathRequest("a", "b", min_bandwidth_mbps=bw, max_delay_ms=10.0)
+    )
+
+
+def test_modify_up_and_down(controller):
+    reserve(controller, bw=20.0)
+    allocation = controller.modify_bandwidth("s1", 60.0)
+    assert allocation.nominal_mbps == pytest.approx(60.0)
+    assert controller.topology.link("a-sw").residual_mbps == pytest.approx(40.0)
+    allocation = controller.modify_bandwidth("s1", 10.0)
+    assert controller.topology.link("sw-b").residual_mbps == pytest.approx(90.0)
+
+
+def test_modify_preserves_stored_request_delay_bound(controller):
+    reserve(controller, bw=20.0)
+    allocation = controller.modify_bandwidth("s1", 30.0)
+    assert allocation.request is not None
+    assert allocation.request.max_delay_ms == pytest.approx(10.0)
+    assert allocation.request.min_bandwidth_mbps == pytest.approx(30.0)
+
+
+def test_second_link_failure_rolls_back_first(controller):
+    """Grow fits on link 1 but not link 2: link 1 must be restored."""
+    reserve(controller, bw=20.0)
+    # Squat 70 Mb/s on the second link only: s1 can grow to at most 30 there.
+    controller.topology.link("sw-b").reserve("squatter", 70.0, 70.0)
+    with pytest.raises(TransportError):
+        controller.modify_bandwidth("s1", 40.0)  # fits a-sw, not sw-b
+    # Both links still carry the original 20 Mb/s reservation.
+    assert controller.topology.link("a-sw").residual_mbps == pytest.approx(80.0)
+    assert controller.topology.link("sw-b").residual_mbps == pytest.approx(10.0)
+    assert controller.allocation_of("s1").nominal_mbps == pytest.approx(20.0)
+
+
+def test_modify_effective_fraction(controller):
+    reserve(controller, bw=20.0)
+    allocation = controller.modify_bandwidth("s1", 40.0, effective_fraction=0.5)
+    assert allocation.effective_mbps == pytest.approx(20.0)
+    assert controller.topology.link("a-sw").residual_mbps == pytest.approx(80.0)
+
+
+def test_modify_unknown_slice_rejected(controller):
+    with pytest.raises(TransportError):
+        controller.modify_bandwidth("ghost", 10.0)
+
+
+def test_modify_bad_inputs_rejected(controller):
+    reserve(controller)
+    with pytest.raises(TransportError):
+        controller.modify_bandwidth("s1", 0.0)
+    with pytest.raises(TransportError):
+        controller.modify_bandwidth("s1", 10.0, effective_fraction=1.5)
+
+
+def test_dashboard_calendar_panel(testbed):
+    """The upcoming-bookings panel renders pending advance bookings."""
+    from repro.core.orchestrator import Orchestrator
+    from repro.dashboard.dashboard import Dashboard
+    from repro.sim.engine import Simulator
+    from repro.sim.randomness import RandomStreams
+    from repro.traffic.patterns import ConstantProfile
+    from tests.conftest import make_request
+
+    sim = Simulator()
+    orch = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        streams=RandomStreams(seed=30),
+    )
+    orch.start()
+    dashboard = Dashboard(orch)
+    assert dashboard.calendar_panel() == ""  # nothing pending
+    request = make_request(duration_s=600.0)
+    orch.submit_advance(request, ConstantProfile(20.0, level=0.5), start_time=2_000.0)
+    panel = dashboard.calendar_panel()
+    assert request.request_id in panel
+    assert "Upcoming bookings" in dashboard.render()
+    sim.run_until(2_100.0)  # booking installed; no longer "upcoming"
+    assert dashboard.calendar_panel() == ""

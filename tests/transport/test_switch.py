@@ -1,0 +1,89 @@
+"""Tests for the OpenFlow-style switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.switch import FlowEntry, FlowMatch, OpenFlowSwitch, SwitchError
+
+
+@pytest.fixture
+def switch():
+    return OpenFlowSwitch("sw1", n_ports=8)
+
+
+def test_install_and_lookup(switch):
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=3, slice_id="s1"))
+    entry = switch.lookup("00101", in_port=0)
+    assert entry is not None and entry.out_port == 3
+
+
+def test_table_miss_returns_none(switch):
+    assert switch.lookup("00199", in_port=0) is None
+
+
+def test_priority_order(switch):
+    switch.install(FlowEntry(FlowMatch(), out_port=1, priority=10))
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=2, priority=200))
+    assert switch.lookup("00101", 0).out_port == 2
+    assert switch.lookup("00102", 0).out_port == 1
+
+
+def test_specificity_breaks_priority_ties(switch):
+    switch.install(FlowEntry(FlowMatch(), out_port=1, priority=100))
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101", in_port=2), out_port=5, priority=100))
+    assert switch.lookup("00101", 2).out_port == 5
+
+
+def test_in_port_match(switch):
+    switch.install(FlowEntry(FlowMatch(in_port=4), out_port=6))
+    assert switch.lookup("any", 4).out_port == 6
+    assert switch.lookup("any", 5) is None
+
+
+def test_forward_updates_counters(switch):
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=3, slice_id="s1"))
+    assert switch.forward("00101", 0, n_bytes=500) == 3
+    assert switch.forward("00101", 0, n_bytes=700) == 3
+    entry = switch.flows()[0]
+    assert entry.packets == 2
+    assert entry.bytes == 1_200
+
+
+def test_forward_miss_returns_none(switch):
+    assert switch.forward("00101", 0) is None
+
+
+def test_duplicate_flow_rejected(switch):
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=1, priority=50))
+    with pytest.raises(SwitchError):
+        switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=2, priority=50))
+
+
+def test_bad_ports_rejected(switch):
+    with pytest.raises(SwitchError):
+        switch.install(FlowEntry(FlowMatch(), out_port=8))
+    with pytest.raises(SwitchError):
+        switch.install(FlowEntry(FlowMatch(in_port=99), out_port=1))
+    with pytest.raises(SwitchError):
+        switch.lookup("x", in_port=99)
+
+
+def test_remove_slice_flows(switch):
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=1, slice_id="s1"))
+    switch.install(FlowEntry(FlowMatch(plmn_id="00102"), out_port=2, slice_id="s2"))
+    assert switch.remove_slice_flows("s1") == 1
+    assert switch.flows_of("s1") == []
+    assert len(switch.flows_of("s2")) == 1
+
+
+def test_stats_structure(switch):
+    switch.install(FlowEntry(FlowMatch(plmn_id="00101"), out_port=1, slice_id="s1"))
+    stats = switch.stats()
+    assert stats["n_flows"] == 1
+    assert stats["flows"][0]["slice_id"] == "s1"
+
+
+def test_zero_ports_rejected():
+    with pytest.raises(SwitchError):
+        OpenFlowSwitch("bad", n_ports=0)

@@ -58,16 +58,16 @@ def main() -> None:
     api = build_orchestrator_api(orchestrator)
     dashboard = Dashboard(orchestrator)
 
-    # Submit one request every 10 simulated minutes, like a live demo.
-    print("=== submitting slice requests through the REST API ===")
+    # Submit one request every 10 simulated minutes, like a live demo —
+    # through the versioned northbound API, with tenancy in the header.
+    print("=== submitting slice requests through the v1 REST API ===")
     for i, (tenant, stype, mbps, latency, duration, price, penalty) in enumerate(
         DEMO_REQUESTS
     ):
         sim.run_until(i * 600.0)
         response = api.post(
-            "/slices",
+            "/v1/slices",
             body={
-                "tenant_id": tenant,
                 "service_type": stype,
                 "throughput_mbps": mbps,
                 "max_latency_ms": latency,
@@ -75,12 +75,13 @@ def main() -> None:
                 "price": price,
                 "penalty_rate": penalty,
             },
+            headers={"X-Tenant-Id": tenant},
         )
         verdict = "ACCEPTED" if response.status == 201 else "REJECTED"
+        reason = "" if response.ok else f"  ({response.body['error']['message'][:60]})"
         print(
             f"t={sim.now:6.0f}s  {tenant:16s} {stype:10s} "
-            f"{mbps:5.1f} Mb/s  ≤{latency:5.1f} ms  -> {verdict}"
-            + ("" if response.status == 201 else f"  ({response.body['reason'][:60]})")
+            f"{mbps:5.1f} Mb/s  ≤{latency:5.1f} ms  -> {verdict}{reason}"
         )
 
     # Run the rest of the day; print the dashboard at checkpoints.

@@ -5,19 +5,23 @@ city-scale traffic traces.
 This example combines the three broker-grade features on top of the
 plain demo flow:
 
-1. walk-in requests are decided in 5-minute *batch windows* by the
-   revenue-maximizing knapsack (ref [3]'s broker model),
+1. walk-in requests arrive through the versioned northbound API
+   (``POST /v1/slices?mode=batch`` → 202 + operation id) and are decided
+   in 5-minute *batch windows* by the revenue-maximizing knapsack
+   (ref [3]'s broker model); tenants poll ``GET /v1/operations/{op_id}``
+   for the verdict,
 2. a stadium operator books a large eMBB slice *in advance* for the
    evening event — the calendar protects that capacity from walk-ins,
-3. every slice's traffic follows a synthetic Milan-grid-like city trace
-   (office / residential / transport land uses), which the forecaster
-   learns and the overbooking engine exploits.
+3. the stadium's traffic follows a synthetic Milan-grid-like city trace
+   (residential land use), which the forecaster learns and the
+   overbooking engine exploits.
 
 Run:  python examples/slice_broker.py
 """
 
 from __future__ import annotations
 
+from repro.api.routes import build_orchestrator_api
 from repro.core.admission import KnapsackPolicy
 from repro.core.broker import SliceBroker
 from repro.core.forecasting import HoltWintersForecaster
@@ -52,6 +56,7 @@ def main() -> None:
     )
     orchestrator.start()
     broker = SliceBroker(orchestrator, window_s=300.0, policy=KnapsackPolicy())
+    api = build_orchestrator_api(orchestrator, broker=broker)
 
     # --- 1. the stadium books tonight's event slice in advance ---------
     stadium = SliceRequest(
@@ -69,39 +74,47 @@ def main() -> None:
     )
     print(f"advance booking for t=18h: {decision.reason} (admitted={decision.admitted})\n")
 
-    # --- 2. walk-ins all day, decided in batch windows ------------------
+    # --- 2. walk-ins all day, batched through the northbound API --------
     walk_ins = [
-        # (hour, tenant, land_use, mbps, latency, hours, price)
-        (8.0, "officenet", "office", 20.0, 80.0, 9.0, 140.0),
-        (8.2, "roadwatch", "transport", 10.0, 25.0, 10.0, 170.0),
-        (8.4, "cheapcast", "residential", 30.0, 90.0, 12.0, 60.0),
-        (9.0, "mediclinic", "residential", 8.0, 30.0, 10.0, 180.0),
-        (12.0, "lunchstream", "office", 15.0, 70.0, 3.0, 45.0),
-        (17.5, "eveningtv", "residential", 25.0, 90.0, 5.0, 110.0),
+        # (hour, tenant, mbps, latency, hours, price)
+        (8.0, "officenet", 20.0, 80.0, 9.0, 140.0),
+        (8.2, "roadwatch", 10.0, 25.0, 10.0, 170.0),
+        (8.4, "cheapcast", 30.0, 90.0, 12.0, 60.0),
+        (9.0, "mediclinic", 8.0, 30.0, 10.0, 180.0),
+        (12.0, "lunchstream", 15.0, 70.0, 3.0, 45.0),
+        (17.5, "eveningtv", 30.0, 90.0, 5.0, 110.0),
     ]
-    for hour, tenant, land_use, mbps, latency, hours, price in walk_ins:
-        def submit(tenant=tenant, land_use=land_use, mbps=mbps, latency=latency,
-                   hours=hours, price=price):
-            request = SliceRequest(
-                tenant_id=tenant,
-                service_type=ServiceType.EMBB,
-                sla=SLA(throughput_mbps=mbps, max_latency_ms=latency, duration_s=hours * HOUR),
-                price=price,
-                penalty_rate=0.5,
+    operations: list = []
+    for hour, tenant, mbps, latency, hours, price in walk_ins:
+        def submit(tenant=tenant, mbps=mbps, latency=latency, hours=hours, price=price):
+            response = api.post(
+                "/v1/slices?mode=batch",
+                body={
+                    "service_type": "embb",
+                    "throughput_mbps": mbps,
+                    "max_latency_ms": latency,
+                    "duration_s": hours * HOUR,
+                    "price": price,
+                    "penalty_rate": 0.5,
+                },
+                headers={"X-Tenant-Id": tenant},
             )
-            profile = SyntheticCityTrace(land_use, noise_sigma=0.1).profile(
-                mbps, n_days=1, rng=streams.stream(f"trace-{tenant}")
-            )
-            broker.submit(request, profile)
+            assert response.status == 202, response.body
+            operations.append((tenant, response.body["operation_id"]))
 
         sim.schedule_at(hour * HOUR, submit)
 
     # --- 3. run the day --------------------------------------------------
     sim.run_until(23.0 * HOUR)
 
-    print("=== broker decisions ===")
-    for decision in broker.decisions:
-        print(f"  {decision.request_id}: {'ACCEPTED' if decision.admitted else 'rejected':8s} ({decision.reason[:60]})")
+    print("=== batch operations (GET /v1/operations/{op_id}) ===")
+    for tenant, op_id in operations:
+        op = api.get(f"/v1/operations/{op_id}", headers={"X-Tenant-Id": tenant}).body
+        decision = op["decision"] or {}
+        print(
+            f"  {op_id} {tenant:12s} {op['status']:9s} "
+            f"({(decision.get('reason') or 'pending')[:60]})"
+        )
     stadium_slice = orchestrator.slice(stadium.request_id.replace("req-", "slice-"))
     print(
         f"\nstadium slice state at 23h: {stadium_slice.state.value} "

@@ -1,13 +1,29 @@
-"""REST-style API layer.
+"""REST API layer.
 
-The demo's orchestrator receives monitoring data and slice requests
-"through REST APIs".  We reproduce the interface shape — routes, JSON
-dict bodies, status codes — as an in-process router, so examples and
-tests interact with the orchestrator exactly the way the demo dashboard
-did, without sockets.
+``repro.api.v1`` is the versioned northbound surface; the unversioned
+routes in ``repro.api.routes`` are a deprecated shim kept for old
+clients.  Both run on the in-process router in ``repro.api.rest`` and
+share one :class:`~repro.api.service.SliceService` facade.
 """
 
 from repro.api.rest import ApiError, Request, Response, RestApi
 from repro.api.routes import build_orchestrator_api
+from repro.api.schemas import ValidationError, error_body, error_response
+from repro.api.service import Conflict, NotFound, ServiceError, SliceService
+from repro.api.v1 import build_v1_api
 
-__all__ = ["ApiError", "Request", "Response", "RestApi", "build_orchestrator_api"]
+__all__ = [
+    "ApiError",
+    "Conflict",
+    "NotFound",
+    "Request",
+    "Response",
+    "RestApi",
+    "ServiceError",
+    "SliceService",
+    "ValidationError",
+    "build_orchestrator_api",
+    "build_v1_api",
+    "error_body",
+    "error_response",
+]

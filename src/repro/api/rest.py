@@ -2,9 +2,14 @@
 
 Routes are ``(method, path-template)`` pairs; templates may contain
 ``{param}`` segments which are extracted into ``Request.params``.
+Concrete paths may carry a query string (``/v1/slices?limit=10``) which
+is parsed into ``Request.query``, and callers may attach headers
+(``X-Tenant-Id``) which arrive case-insensitively in ``Request.headers``.
 Handlers receive a :class:`Request` and return a :class:`Response`
 (or a plain dict, auto-wrapped as 200).  All bodies are JSON-serializable
-dicts — the same contract a real REST deployment would enforce.
+dicts — the same contract a real REST deployment would enforce; numpy
+scalars/arrays that leak out of domain telemetry are coerced by the
+serializer rather than crashing it.
 """
 
 from __future__ import annotations
@@ -13,10 +18,28 @@ import json
 import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
 
 
 class ApiError(RuntimeError):
     """Raised for router misconfiguration (not for 4xx/5xx responses)."""
+
+
+def _json_default(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays (and sets) into JSON-native values."""
+    import numpy as np
+
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
 
 
 @dataclass
@@ -25,15 +48,24 @@ class Request:
 
     Attributes:
         method: HTTP verb, upper-case.
-        path: Concrete path, e.g. ``"/slices/slice-000001"``.
+        path: Concrete path without the query string,
+            e.g. ``"/slices/slice-000001"``.
         body: JSON body (dict) or None.
         params: Path parameters extracted from the template.
+        query: Query-string parameters (last value wins on repeats).
+        headers: Request headers, keys lower-cased.
     """
 
     method: str
     path: str
     body: Optional[dict] = None
     params: Dict[str, str] = field(default_factory=dict)
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
 
 
 @dataclass
@@ -49,8 +81,13 @@ class Response:
         return 200 <= self.status < 300
 
     def json(self) -> str:
-        """Serialized body — proves everything we return is JSON-safe."""
-        return json.dumps(self.body, sort_keys=True)
+        """Serialized body — proves everything we return is JSON-safe.
+
+        Numpy scalars and arrays (which leak out of orchestrator
+        snapshots and domain utilization dicts) are coerced to their
+        Python equivalents instead of raising ``TypeError``.
+        """
+        return json.dumps(self.body, sort_keys=True, default=_json_default)
 
 
 Handler = Callable[[Request], "Response | dict"]
@@ -59,10 +96,26 @@ _PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
 
 
 class RestApi:
-    """Minimal in-process REST router."""
+    """Minimal in-process REST router.
 
-    def __init__(self) -> None:
+    Args:
+        enveloped_prefixes: Path prefixes for which router-generated
+            errors (no route, wrong method, handler crash) are rendered
+            as the structured envelope
+            ``{"error": {"code": ..., "message": ...}}`` instead of the
+            legacy flat ``{"error": "..."}`` string.  The v1 surface
+            registers itself here so *every* 4xx/5xx under ``/v1`` is
+            enveloped, including errors raised before a handler runs.
+    """
+
+    def __init__(self, enveloped_prefixes: Tuple[str, ...] = ()) -> None:
         self._routes: List[Tuple[str, re.Pattern, str, Handler]] = []
+        self._enveloped_prefixes = tuple(enveloped_prefixes)
+
+    def _error_body(self, path: str, code: str, message: str) -> dict:
+        if any(path.startswith(prefix) for prefix in self._enveloped_prefixes):
+            return {"error": {"code": code, "message": message}}
+        return {"error": message}
 
     def route(self, method: str, template: str, handler: Handler) -> None:
         """Register a handler for ``method template``.
@@ -85,46 +138,88 @@ class RestApi:
         return re.compile(f"^{regex}$")
 
     def dispatch(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Response:
         """Route a request; returns 404/405 responses instead of raising."""
         method = method.upper()
+        split = urlsplit(path)
+        bare_path = split.path
+        query = dict(parse_qsl(split.query, keep_blank_values=True))
+        normalized_headers = {
+            str(k).lower(): str(v) for k, v in (headers or {}).items()
+        }
         path_matched = False
         for m, pattern, _, handler in self._routes:
-            match = pattern.match(path)
+            match = pattern.match(bare_path)
             if match is None:
                 continue
             path_matched = True
             if m != method:
                 continue
-            request = Request(method=method, path=path, body=body, params=match.groupdict())
+            request = Request(
+                method=method,
+                path=bare_path,
+                body=body,
+                params=match.groupdict(),
+                query=query,
+                headers=normalized_headers,
+            )
             try:
                 result = handler(request)
             except Exception as exc:  # handler bug → 500, never crash the caller
-                return Response(status=500, body={"error": str(exc)})
+                return Response(
+                    status=500,
+                    body=self._error_body(bare_path, "internal_error", str(exc)),
+                )
             if isinstance(result, Response):
                 return result
             return Response(status=200, body=result)
         if path_matched:
-            return Response(status=405, body={"error": f"method {method} not allowed"})
-        return Response(status=404, body={"error": f"no route for {path}"})
+            return Response(
+                status=405,
+                body=self._error_body(
+                    bare_path, "method_not_allowed", f"method {method} not allowed"
+                ),
+            )
+        return Response(
+            status=404,
+            body=self._error_body(bare_path, "not_found", f"no route for {bare_path}"),
+        )
 
     # Convenience verbs -------------------------------------------------
-    def get(self, path: str) -> Response:
+    def get(
+        self, path: str, headers: Optional[Dict[str, str]] = None
+    ) -> Response:
         """Dispatch a GET."""
-        return self.dispatch("GET", path)
+        return self.dispatch("GET", path, headers=headers)
 
-    def post(self, path: str, body: Optional[dict] = None) -> Response:
+    def post(
+        self,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
         """Dispatch a POST."""
-        return self.dispatch("POST", path, body)
+        return self.dispatch("POST", path, body, headers=headers)
 
-    def patch(self, path: str, body: Optional[dict] = None) -> Response:
+    def patch(
+        self,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
         """Dispatch a PATCH."""
-        return self.dispatch("PATCH", path, body)
+        return self.dispatch("PATCH", path, body, headers=headers)
 
-    def delete(self, path: str) -> Response:
+    def delete(
+        self, path: str, headers: Optional[Dict[str, str]] = None
+    ) -> Response:
         """Dispatch a DELETE."""
-        return self.dispatch("DELETE", path)
+        return self.dispatch("DELETE", path, headers=headers)
 
     def routes(self) -> List[str]:
         """Human-readable route list."""

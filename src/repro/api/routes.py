@@ -1,11 +1,22 @@
-"""Orchestrator REST surface.
+"""Legacy (unversioned) REST surface — a deprecated shim over v1.
 
-The routes the demo dashboard uses:
+The routes the original demo dashboard used keep answering with their
+historical shapes (flat ``{"error": "..."}`` strings, the same status
+codes), but every handler now delegates to the same
+:class:`~repro.api.service.SliceService` that powers ``/v1`` — there is
+exactly one validation and one orchestration path.  One deliberate
+behavior change rides along: validation is now the v1 schema's, which
+is stricter than the old hand-rolled coercion (e.g. a boolean for a
+numeric field or a non-string ``tenant_id`` is 400 instead of being
+silently coerced).  New clients should
+use the versioned surface registered alongside (see
+:func:`repro.api.v1.build_v1_api` and ``docs/API.md``):
 
 - ``POST /slices`` — request a slice (duration, latency, throughput,
   price, penalty: exactly the dashboard's input fields),
 - ``GET /slices`` / ``GET /slices/{slice_id}`` — inventory and detail,
-- ``DELETE /slices/{slice_id}`` — early teardown,
+- ``DELETE /slices/{slice_id}`` — early teardown (or cancellation of a
+  slice still pending activation),
 - ``GET /dashboard`` — the full snapshot (gain vs. penalties),
 - ``GET /domains/{domain}`` — per-domain utilization.
 """
@@ -15,122 +26,70 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.api.rest import Request, Response, RestApi
-from repro.core.orchestrator import Orchestrator, OrchestratorError
-from repro.core.slices import SLA, ServiceType, SliceRequest, SliceState
-from repro.traffic.verticals import vertical_for
+from repro.api.schemas import ValidationError
+from repro.api.service import Conflict, NotFound, SliceService
+from repro.api.v1 import build_v1_api
+from repro.core.broker import SliceBroker
+from repro.core.orchestrator import Orchestrator
 
 
-def build_orchestrator_api(orchestrator: Orchestrator) -> RestApi:
-    """Wire an orchestrator behind the demo's REST surface."""
-    api = RestApi()
+def register_legacy_routes(service: SliceService, api: RestApi) -> RestApi:
+    """Mount the deprecated unversioned routes, delegating to ``service``."""
 
     def post_slice(request: Request) -> Response:
-        body = request.body or {}
-        required = ["service_type", "throughput_mbps", "max_latency_ms", "duration_s", "price", "penalty_rate"]
-        missing = [key for key in required if key not in body]
-        if missing:
-            return Response(status=400, body={"error": f"missing fields: {missing}"})
         try:
-            service_type = ServiceType(body["service_type"])
-        except ValueError:
-            valid = [t.value for t in ServiceType]
-            return Response(
-                status=400,
-                body={"error": f"unknown service_type {body['service_type']!r}; valid: {valid}"},
-            )
-        try:
-            sla = SLA(
-                throughput_mbps=float(body["throughput_mbps"]),
-                max_latency_ms=float(body["max_latency_ms"]),
-                duration_s=float(body["duration_s"]),
-                availability=float(body.get("availability", 0.95)),
-            )
-            slice_request = SliceRequest(
-                tenant_id=str(body.get("tenant_id", "anonymous")),
-                service_type=service_type,
-                sla=sla,
-                price=float(body["price"]),
-                penalty_rate=float(body["penalty_rate"]),
-                arrival_time=orchestrator.sim.now,
-                n_users=int(body.get("n_users", 10)),
-            )
-        except (ValueError, RuntimeError) as exc:
-            return Response(status=400, body={"error": str(exc)})
-        spec = vertical_for(service_type)
-        rng = orchestrator.streams.stream(f"api-profile-{slice_request.request_id}")
-        profile = spec.sample_profile(sla.throughput_mbps, rng)
-        decision = orchestrator.submit(slice_request, profile)
-        slice_id = slice_request.request_id.replace("req-", "slice-")
+            decision, _ = service.create_slice(request.body)
+        except ValidationError as exc:
+            return Response(status=400, body={"error": exc.message})
         status = 201 if decision.admitted else 409
         return Response(
             status=status,
             body={
-                "request_id": slice_request.request_id,
-                "slice_id": slice_id if decision.admitted else None,
+                "request_id": decision.request_id,
+                "slice_id": decision.slice_id if decision.admitted else None,
                 "admitted": decision.admitted,
                 "reason": decision.reason,
             },
         )
 
     def get_slices(request: Request) -> dict:
-        return {"slices": [s.to_dict() for s in orchestrator.all_slices()]}
+        slices, _ = service.list_slices()
+        return {"slices": [s.to_dict() for s in slices]}
 
     def get_slice(request: Request) -> Response:
         try:
-            network_slice = orchestrator.slice(request.params["slice_id"])
-        except OrchestratorError as exc:
-            return Response(status=404, body={"error": str(exc)})
+            network_slice = service.get_slice(request.params["slice_id"])
+        except NotFound as exc:
+            return Response(status=404, body={"error": exc.message})
         return Response(status=200, body=network_slice.to_dict())
 
     def delete_slice(request: Request) -> Response:
-        slice_id = request.params["slice_id"]
         try:
-            network_slice = orchestrator.slice(slice_id)
-        except OrchestratorError as exc:
-            return Response(status=404, body={"error": str(exc)})
-        if network_slice.state is not SliceState.ACTIVE:
-            return Response(
-                status=409,
-                body={"error": f"slice is {network_slice.state.value}, not active"},
-            )
-        refund = orchestrator.terminate_early(slice_id, refund=True)
-        return Response(
-            status=200,
-            body={"slice_id": slice_id, "state": "expired", "refund": refund},
-        )
+            result = service.delete_slice(request.params["slice_id"])
+        except NotFound as exc:
+            return Response(status=404, body={"error": exc.message})
+        except Conflict as exc:
+            return Response(status=409, body={"error": exc.message})
+        return Response(status=200, body=result)
 
     def get_dashboard(request: Request) -> dict:
-        return orchestrator.snapshot()
+        return service.dashboard()
 
     def get_domain(request: Request) -> Response:
-        domain = request.params["domain"]
-        controllers = {
-            "ran": orchestrator.allocator.ran,
-            "transport": orchestrator.allocator.transport,
-            "cloud": orchestrator.allocator.cloud,
-        }
-        controller = controllers.get(domain)
-        if controller is None:
-            return Response(
-                status=404,
-                body={"error": f"unknown domain {domain!r}; valid: {sorted(controllers)}"},
-            )
-        return Response(status=200, body=controller.utilization())
+        try:
+            utilization = service.domain(request.params["domain"])
+        except NotFound as exc:
+            return Response(status=404, body={"error": exc.message})
+        return Response(status=200, body=utilization)
 
     def patch_slice(request: Request) -> Response:
+        try:
+            decision = service.modify_slice(request.params["slice_id"], request.body)
+        except ValidationError as exc:
+            return Response(status=400, body={"error": exc.message})
+        except NotFound as exc:
+            return Response(status=404, body={"error": exc.message})
         slice_id = request.params["slice_id"]
-        body = request.body or {}
-        if "throughput_mbps" not in body:
-            return Response(status=400, body={"error": "missing throughput_mbps"})
-        try:
-            new_mbps = float(body["throughput_mbps"])
-        except (TypeError, ValueError):
-            return Response(status=400, body={"error": "throughput_mbps must be a number"})
-        try:
-            orchestrator.slice(slice_id)
-        except OrchestratorError as exc:
-            return Response(status=404, body={"error": str(exc)})
-        decision = orchestrator.modify_slice(slice_id, new_mbps)
         status = 200 if decision.admitted else 409
         return Response(
             status=status,
@@ -138,29 +97,11 @@ def build_orchestrator_api(orchestrator: Orchestrator) -> RestApi:
         )
 
     def post_whatif(request: Request) -> Response:
-        body = request.body or {}
-        required = ["service_type", "throughput_mbps", "max_latency_ms", "duration_s"]
-        missing = [key for key in required if key not in body]
-        if missing:
-            return Response(status=400, body={"error": f"missing fields: {missing}"})
         try:
-            service_type = ServiceType(body["service_type"])
-            sla = SLA(
-                throughput_mbps=float(body["throughput_mbps"]),
-                max_latency_ms=float(body["max_latency_ms"]),
-                duration_s=float(body["duration_s"]),
-            )
-            probe = SliceRequest(
-                tenant_id=str(body.get("tenant_id", "anonymous")),
-                service_type=service_type,
-                sla=sla,
-                price=float(body.get("price", 0.0)),
-                penalty_rate=float(body.get("penalty_rate", 0.0)),
-                arrival_time=orchestrator.sim.now,
-            )
-        except (ValueError, RuntimeError) as exc:
-            return Response(status=400, body={"error": str(exc)})
-        return Response(status=200, body=orchestrator.what_if(probe))
+            report = service.what_if(request.body)
+        except ValidationError as exc:
+            return Response(status=400, body={"error": exc.message})
+        return Response(status=200, body=report)
 
     api.route("POST", "/whatif", post_whatif)
     api.route("POST", "/slices", post_slice)
@@ -173,4 +114,22 @@ def build_orchestrator_api(orchestrator: Orchestrator) -> RestApi:
     return api
 
 
-__all__ = ["build_orchestrator_api"]
+def build_orchestrator_api(
+    orchestrator: Orchestrator,
+    broker: Optional[SliceBroker] = None,
+    service: Optional[SliceService] = None,
+) -> RestApi:
+    """Wire an orchestrator behind the full REST surface.
+
+    Registers the versioned ``/v1`` routes plus the deprecated
+    unversioned shim on one router, both backed by the same
+    :class:`SliceService`.  Pass ``broker`` to reuse an existing
+    batch-window broker for ``POST /v1/slices?mode=batch``.
+    """
+    service = service or SliceService(orchestrator, broker=broker)
+    api = build_v1_api(service)
+    register_legacy_routes(service, api)
+    return api
+
+
+__all__ = ["build_orchestrator_api", "register_legacy_routes"]

@@ -1,0 +1,444 @@
+"""Service facade between the REST surface and the orchestrator core.
+
+:class:`SliceService` is the single seam the v1 handlers (and the legacy
+shim) talk through.  It owns the three concerns an HTTP router should
+not: building domain objects out of validated payloads, tenant scoping,
+and the async *operation* resources that make the batch-window
+:class:`~repro.core.broker.SliceBroker` reachable over the API —
+``POST /v1/slices?mode=batch`` enqueues into the broker and hands back a
+pollable operation that resolves when the decision window flushes.
+
+Service-layer failures raise :class:`ServiceError` subclasses carrying
+an HTTP status and a stable error code; the route layer renders them as
+the structured error envelope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.schemas import (
+    SLICE_CREATE,
+    SLICE_MODIFY,
+    ValidationError,
+    WHAT_IF,
+    parse_int_param,
+)
+from repro.core.admission import AdmissionDecision
+from repro.core.broker import SliceBroker
+from repro.core.events import OrchestrationEvent
+from repro.core.orchestrator import Orchestrator, OrchestratorError
+from repro.core.slices import (
+    NetworkSlice,
+    SLA,
+    SliceError,
+    SliceRequest,
+    SliceState,
+)
+from repro.traffic.patterns import TrafficProfile
+from repro.traffic.verticals import vertical_for
+
+DEFAULT_TENANT = "anonymous"
+
+
+class ServiceError(Exception):
+    """A service-layer failure with an HTTP status and stable code."""
+
+    status = 500
+    code = "internal_error"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class NotFound(ServiceError):
+    """The resource does not exist — or belongs to another tenant."""
+
+    status = 404
+    code = "not_found"
+
+
+class Conflict(ServiceError):
+    """The resource exists but its state forbids the operation."""
+
+    status = 409
+    code = "conflict"
+
+
+@dataclass
+class Operation:
+    """An asynchronous API operation (currently: batch slice creation).
+
+    Lifecycle: ``pending`` → ``succeeded`` | ``failed`` when the broker
+    window flushes and the admit/reject decision lands.
+    """
+
+    op_id: str
+    kind: str
+    request_id: str
+    tenant_id: str
+    created_at: float
+    status: str = "pending"
+    decision: Optional[AdmissionDecision] = None
+    resolved_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+    def to_dict(self) -> dict:
+        body: Dict[str, Any] = {
+            "operation_id": self.op_id,
+            "kind": self.kind,
+            "status": self.status,
+            "request_id": self.request_id,
+            "tenant_id": self.tenant_id,
+            "created_at": self.created_at,
+            "resolved_at": self.resolved_at,
+            "slice_id": self.decision.slice_id if self.decision else None,
+        }
+        if self.decision is not None:
+            body["decision"] = {
+                "request_id": self.decision.request_id,
+                "admitted": self.decision.admitted,
+                "reason": self.decision.reason,
+                "slice_id": self.decision.slice_id,
+            }
+        else:
+            body["decision"] = None
+        return body
+
+
+class OperationStore:
+    """Bounded registry of async operations.
+
+    ``capacity`` is a hard bound enforced on every insert: eviction
+    prefers the oldest resolved operation but falls back to the oldest
+    pending one when a burst of unresolved submissions alone exceeds
+    the bound (that client's poll then 404s — the documented cost of
+    overrunning the registry).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._ops: "OrderedDict[str, Operation]" = OrderedDict()
+        self._counter = itertools.count(1)
+
+    def _evict(self) -> None:
+        while len(self._ops) > self.capacity:
+            victim = next(
+                (op_id for op_id, op in self._ops.items() if op.done),
+                next(iter(self._ops)),
+            )
+            del self._ops[victim]
+
+    def create(
+        self, kind: str, request_id: str, tenant_id: str, now: float
+    ) -> Operation:
+        op = Operation(
+            op_id=f"op-{next(self._counter):06d}",
+            kind=kind,
+            request_id=request_id,
+            tenant_id=tenant_id,
+            created_at=now,
+        )
+        self._ops[op.op_id] = op
+        self._evict()
+        return op
+
+    def resolve(self, op_id: str, decision: AdmissionDecision, now: float) -> None:
+        op = self._ops.get(op_id)
+        if op is None:  # evicted under pressure — nothing to record
+            return
+        op.decision = decision
+        op.status = "succeeded" if decision.admitted else "failed"
+        op.resolved_at = now
+
+    def get(self, op_id: str) -> Optional[Operation]:
+        return self._ops.get(op_id)
+
+    def list(self, tenant_id: Optional[str] = None) -> List[Operation]:
+        ops = list(self._ops.values())
+        if tenant_id is not None:
+            ops = [op for op in ops if op.tenant_id == tenant_id]
+        return ops
+
+
+class SliceService:
+    """Typed facade over :class:`Orchestrator` + :class:`SliceBroker`.
+
+    Args:
+        orchestrator: The live orchestrator.
+        broker: Batch-window broker used by ``mode=batch`` submissions;
+            one with the default 300 s window is created when omitted.
+        operation_capacity: Retention of the async-operation registry.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        broker: Optional[SliceBroker] = None,
+        operation_capacity: int = 1024,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.broker = broker or SliceBroker(orchestrator)
+        self.operations = OperationStore(capacity=operation_capacity)
+
+    # ------------------------------------------------------------------
+    # Payload → domain objects
+    # ------------------------------------------------------------------
+    def resolve_tenant(
+        self, header_tenant: Optional[str], body_tenant: Optional[str] = None
+    ) -> str:
+        """Effective tenant: header wins, then body, then anonymous."""
+        return header_tenant or body_tenant or DEFAULT_TENANT
+
+    def build_request(
+        self, payload: Dict[str, Any], tenant_id: str
+    ) -> Tuple[SliceRequest, TrafficProfile]:
+        """Build the (request, traffic profile) pair from a validated
+        ``SLICE_CREATE`` payload."""
+        try:
+            sla = SLA(
+                throughput_mbps=payload["throughput_mbps"],
+                max_latency_ms=payload["max_latency_ms"],
+                duration_s=payload["duration_s"],
+                availability=payload["availability"],
+            )
+            request = SliceRequest(
+                tenant_id=tenant_id,
+                service_type=payload["service_type"],
+                sla=sla,
+                price=payload["price"],
+                penalty_rate=payload["penalty_rate"],
+                arrival_time=self.orchestrator.sim.now,
+                n_users=payload["n_users"],
+            )
+        except SliceError as exc:
+            raise ValidationError("invalid_value", str(exc)) from None
+        spec = vertical_for(request.service_type)
+        rng = self.orchestrator.streams.stream(f"api-profile-{request.request_id}")
+        profile = spec.sample_profile(sla.throughput_mbps, rng)
+        return request, profile
+
+    # ------------------------------------------------------------------
+    # Slice collection
+    # ------------------------------------------------------------------
+    def create_slice(
+        self, payload: Optional[dict], header_tenant: Optional[str] = None
+    ) -> Tuple[AdmissionDecision, SliceRequest]:
+        """Synchronous (online) admission; returns the final decision."""
+        parsed = SLICE_CREATE.parse(payload)
+        tenant = self.resolve_tenant(header_tenant, parsed.get("tenant_id"))
+        request, profile = self.build_request(parsed, tenant)
+        decision = self.orchestrator.submit(request, profile)
+        return decision, request
+
+    def create_slice_batch(
+        self, payload: Optional[dict], header_tenant: Optional[str] = None
+    ) -> Operation:
+        """Asynchronous (batch-window) admission through the broker.
+
+        The request queues until the broker's decision window flushes;
+        the returned :class:`Operation` resolves with the admit/reject
+        decision then (poll ``GET /v1/operations/{op_id}``).
+        """
+        parsed = SLICE_CREATE.parse(payload)
+        tenant = self.resolve_tenant(header_tenant, parsed.get("tenant_id"))
+        request, profile = self.build_request(parsed, tenant)
+        now = self.orchestrator.sim.now
+        op = self.operations.create(
+            kind="slice.create.batch",
+            request_id=request.request_id,
+            tenant_id=tenant,
+            now=now,
+        )
+        self.broker.submit(
+            request,
+            profile,
+            on_decision=lambda decision, op_id=op.op_id: self.operations.resolve(
+                op_id, decision, self.orchestrator.sim.now
+            ),
+        )
+        return op
+
+    def list_slices(
+        self,
+        tenant_id: Optional[str] = None,
+        state: Optional[str] = None,
+        offset: int = 0,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[NetworkSlice], int]:
+        """Filtered, paginated inventory; returns (page, total_matched).
+
+        ``limit=None`` returns everything past ``offset`` (the legacy
+        shim's behavior)."""
+        if state is not None:
+            valid = [s.value for s in SliceState]
+            if state not in valid:
+                raise ValidationError(
+                    "invalid_parameter",
+                    f"unknown state {state!r}; valid: {valid}",
+                    field="state",
+                )
+        slices = self.orchestrator.all_slices()
+        if tenant_id is not None:
+            slices = [s for s in slices if s.request.tenant_id == tenant_id]
+        if state is not None:
+            slices = [s for s in slices if s.state.value == state]
+        total = len(slices)
+        end = None if limit is None else offset + limit
+        return slices[offset:end], total
+
+    def get_slice(
+        self, slice_id: str, tenant_id: Optional[str] = None
+    ) -> NetworkSlice:
+        """Slice detail; tenant mismatch reads as 404 (no existence leak).
+
+        Raises:
+            NotFound: Unknown slice, or owned by a different tenant.
+        """
+        try:
+            network_slice = self.orchestrator.slice(slice_id)
+        except OrchestratorError as exc:
+            raise NotFound(str(exc)) from None
+        if tenant_id is not None and network_slice.request.tenant_id != tenant_id:
+            raise NotFound(f"unknown slice {slice_id}")
+        return network_slice
+
+    def delete_slice(
+        self, slice_id: str, tenant_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Tear down an ACTIVE slice or cancel one pending activation.
+
+        Raises:
+            NotFound: Unknown/foreign slice.
+            Conflict: Slice already terminal (expired/rejected/...).
+        """
+        network_slice = self.get_slice(slice_id, tenant_id)
+        state = network_slice.state
+        if state is SliceState.ACTIVE:
+            refund = self.orchestrator.terminate_early(slice_id, refund=True)
+            return {"slice_id": slice_id, "state": "expired", "refund": refund}
+        if state in (SliceState.ADMITTED, SliceState.DEPLOYING):
+            refund = self.orchestrator.cancel(slice_id, refund=True)
+            return {"slice_id": slice_id, "state": "cancelled", "refund": refund}
+        raise Conflict(f"slice is {state.value}, not active")
+
+    def modify_slice(
+        self,
+        slice_id: str,
+        payload: Optional[dict],
+        tenant_id: Optional[str] = None,
+    ) -> AdmissionDecision:
+        """Rescale an ACTIVE slice's throughput SLA."""
+        parsed = SLICE_MODIFY.parse(payload)
+        self.get_slice(slice_id, tenant_id)  # existence + tenancy
+        return self.orchestrator.modify_slice(slice_id, parsed["throughput_mbps"])
+
+    def what_if(
+        self, payload: Optional[dict], header_tenant: Optional[str] = None
+    ) -> dict:
+        """Non-committal feasibility probe."""
+        parsed = WHAT_IF.parse(payload)
+        tenant = self.resolve_tenant(header_tenant, parsed.get("tenant_id"))
+        try:
+            probe = SliceRequest(
+                tenant_id=tenant,
+                service_type=parsed["service_type"],
+                sla=SLA(
+                    throughput_mbps=parsed["throughput_mbps"],
+                    max_latency_ms=parsed["max_latency_ms"],
+                    duration_s=parsed["duration_s"],
+                ),
+                price=parsed["price"],
+                penalty_rate=parsed["penalty_rate"],
+                arrival_time=self.orchestrator.sim.now,
+            )
+        except SliceError as exc:
+            raise ValidationError("invalid_value", str(exc)) from None
+        return self.orchestrator.what_if(probe)
+
+    # ------------------------------------------------------------------
+    # Operations + events
+    # ------------------------------------------------------------------
+    def get_operation(
+        self, op_id: str, tenant_id: Optional[str] = None
+    ) -> Operation:
+        """Async-operation detail (tenant-scoped like slices).
+
+        Raises:
+            NotFound: Unknown op, or owned by a different tenant.
+        """
+        op = self.operations.get(op_id)
+        if op is None:
+            raise NotFound(f"unknown operation {op_id}")
+        if tenant_id is not None and op.tenant_id != tenant_id:
+            raise NotFound(f"unknown operation {op_id}")
+        return op
+
+    def list_operations(self, tenant_id: Optional[str] = None) -> List[Operation]:
+        """All retained operations, oldest first (tenant-scoped)."""
+        return self.operations.list(tenant_id)
+
+    def events_since(
+        self,
+        query: Dict[str, str],
+        tenant_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """The event feed page for ``GET /v1/events``."""
+        log = self.orchestrator.events
+        cursor = parse_int_param(query, "since", default=0, minimum=0)
+        limit = parse_int_param(query, "limit", default=100, minimum=1, maximum=1000)
+        # Tenant-filter BEFORE limiting: a short page then means "scanned
+        # to the end", so advancing the cursor to the last returned seq
+        # (or last_seq on an empty page) never skips the tenant's events.
+        events: List[OrchestrationEvent] = log.since(cursor)
+        if tenant_id is not None:
+            events = [
+                e for e in events if e.tenant_id is None or e.tenant_id == tenant_id
+            ]
+        events = events[:limit]
+        return {
+            "events": [e.to_dict() for e in events],
+            "last_seq": log.last_seq,
+            "first_retained_seq": log.first_seq,
+        }
+
+    # ------------------------------------------------------------------
+    # Observability passthrough
+    # ------------------------------------------------------------------
+    def dashboard(self) -> dict:
+        """The full orchestrator snapshot."""
+        return self.orchestrator.snapshot()
+
+    def domain(self, name: str) -> dict:
+        """Per-domain utilization.
+
+        Raises:
+            NotFound: Unknown domain name.
+        """
+        controllers = {
+            "ran": self.orchestrator.allocator.ran,
+            "transport": self.orchestrator.allocator.transport,
+            "cloud": self.orchestrator.allocator.cloud,
+        }
+        controller = controllers.get(name)
+        if controller is None:
+            raise NotFound(f"unknown domain {name!r}; valid: {sorted(controllers)}")
+        return controller.utilization()
+
+
+__all__ = [
+    "Conflict",
+    "DEFAULT_TENANT",
+    "NotFound",
+    "Operation",
+    "OperationStore",
+    "ServiceError",
+    "SliceService",
+]

@@ -1,0 +1,215 @@
+"""Versioned northbound REST surface (``/v1``).
+
+Every handler here is a thin adapter: parse query/header context, call
+:class:`~repro.api.service.SliceService`, render the result.  Validation
+and service failures surface as the structured error envelope::
+
+    {"error": {"code": ..., "message": ..., "field": ...}}
+
+Endpoints (full reference in ``docs/API.md``):
+
+- ``POST /v1/slices`` — create a slice.  ``?mode=sync`` (default)
+  decides online and returns 201/409; ``?mode=batch`` enqueues into the
+  batch-window broker and returns **202** with an operation id.
+- ``GET /v1/slices`` — tenant-scoped inventory with ``state`` filtering
+  and ``offset``/``limit`` pagination.
+- ``GET|PATCH|DELETE /v1/slices/{slice_id}`` — detail / rescale /
+  teardown (DELETE also cancels slices still pending activation).
+- ``GET /v1/operations[/{op_id}]`` — poll async operations.
+- ``GET /v1/events?since=N`` — the bounded orchestration event feed.
+- ``POST /v1/whatif`` — feasibility probe.
+- ``GET /v1/dashboard`` / ``GET /v1/domains/{domain}`` — observability.
+
+Tenancy: requests carrying ``X-Tenant-Id`` see only their own slices and
+operations; collection endpoints filter, detail endpoints 404 on foreign
+resources (no existence leak).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.rest import Handler, Request, Response, RestApi
+from repro.api.schemas import (
+    ValidationError,
+    error_body,
+    error_response,
+    parse_pagination,
+)
+from repro.api.service import ServiceError, SliceService
+
+TENANT_HEADER = "x-tenant-id"
+
+#: Query modes accepted by ``POST /v1/slices``.
+CREATE_MODES = ("sync", "batch")
+
+
+def _tenant_of(request: Request) -> Optional[str]:
+    """The scoping tenant: the X-Tenant-Id header, else a ``tenant``
+    query parameter (convenience for GET collections), else None."""
+    return request.header(TENANT_HEADER) or request.query.get("tenant") or None
+
+
+def _guarded(handler: Handler) -> Handler:
+    """Translate schema/service exceptions into enveloped responses."""
+
+    def wrapped(request: Request):
+        try:
+            return handler(request)
+        except ValidationError as exc:
+            return exc.to_response(400)
+        except ServiceError as exc:
+            return error_response(exc.status, exc.code, exc.message)
+
+    return wrapped
+
+
+def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestApi:
+    """Register the ``/v1`` routes for ``service`` on ``api``."""
+    api = api or RestApi(enveloped_prefixes=("/v1",))
+
+    def post_slice(request: Request) -> Response:
+        mode = request.query.get("mode", "sync")
+        if mode not in CREATE_MODES:
+            return error_response(
+                400,
+                "invalid_parameter",
+                f"unknown mode {mode!r}; valid: {list(CREATE_MODES)}",
+                field="mode",
+            )
+        header_tenant = request.header(TENANT_HEADER)
+        if mode == "batch":
+            op = service.create_slice_batch(request.body, header_tenant)
+            return Response(
+                status=202,
+                body={
+                    "operation_id": op.op_id,
+                    "status": op.status,
+                    "request_id": op.request_id,
+                    "mode": "batch",
+                    "location": f"/v1/operations/{op.op_id}",
+                },
+            )
+        decision, slice_request = service.create_slice(request.body, header_tenant)
+        if not decision.admitted:
+            body = error_body("admission_rejected", decision.reason)
+            body.update(
+                {
+                    "request_id": decision.request_id,
+                    "slice_id": decision.slice_id,
+                    "admitted": False,
+                }
+            )
+            return Response(status=409, body=body)
+        return Response(
+            status=201,
+            body={
+                "slice_id": decision.slice_id,
+                "request_id": decision.request_id,
+                "tenant_id": slice_request.tenant_id,
+                "admitted": True,
+                "reason": decision.reason,
+                "location": f"/v1/slices/{decision.slice_id}",
+            },
+        )
+
+    def get_slices(request: Request) -> Response:
+        offset, limit = parse_pagination(request.query)
+        page, total = service.list_slices(
+            tenant_id=_tenant_of(request),
+            state=request.query.get("state"),
+            offset=offset,
+            limit=limit,
+        )
+        return Response(
+            status=200,
+            body={
+                "slices": [s.to_dict() for s in page],
+                "count": len(page),
+                "total": total,
+                "offset": offset,
+                "limit": limit,
+            },
+        )
+
+    def get_slice(request: Request) -> Response:
+        network_slice = service.get_slice(
+            request.params["slice_id"], _tenant_of(request)
+        )
+        return Response(status=200, body=network_slice.to_dict())
+
+    def patch_slice(request: Request) -> Response:
+        decision = service.modify_slice(
+            request.params["slice_id"], request.body, _tenant_of(request)
+        )
+        if not decision.admitted:
+            body = error_body("modification_rejected", decision.reason)
+            body.update({"slice_id": request.params["slice_id"], "admitted": False})
+            return Response(status=409, body=body)
+        return Response(
+            status=200,
+            body={
+                "slice_id": request.params["slice_id"],
+                "admitted": True,
+                "reason": decision.reason,
+            },
+        )
+
+    def delete_slice(request: Request) -> Response:
+        result = service.delete_slice(request.params["slice_id"], _tenant_of(request))
+        return Response(status=200, body=result)
+
+    def post_whatif(request: Request) -> Response:
+        report = service.what_if(request.body, request.header(TENANT_HEADER))
+        return Response(status=200, body=report)
+
+    def get_operations(request: Request) -> Response:
+        ops = service.list_operations(_tenant_of(request))
+        return Response(
+            status=200,
+            body={"operations": [op.to_dict() for op in ops], "count": len(ops)},
+        )
+
+    def get_operation(request: Request) -> Response:
+        op = service.get_operation(request.params["op_id"], _tenant_of(request))
+        return Response(status=200, body=op.to_dict())
+
+    def get_events(request: Request) -> Response:
+        feed = service.events_since(request.query, _tenant_of(request))
+        return Response(status=200, body=feed)
+
+    def get_dashboard(request: Request) -> Response:
+        return Response(status=200, body=service.dashboard())
+
+    def get_domain(request: Request) -> Response:
+        return Response(status=200, body=service.domain(request.params["domain"]))
+
+    def get_index(request: Request) -> Response:
+        return Response(
+            status=200,
+            body={
+                "version": "v1",
+                "routes": [r for r in api.routes() if " /v1" in r],
+                "deprecated": {
+                    "unversioned_routes": "the unversioned routes are a "
+                    "deprecated shim over /v1; see docs/API.md"
+                },
+            },
+        )
+
+    api.route("GET", "/v1", _guarded(get_index))
+    api.route("POST", "/v1/slices", _guarded(post_slice))
+    api.route("GET", "/v1/slices", _guarded(get_slices))
+    api.route("GET", "/v1/slices/{slice_id}", _guarded(get_slice))
+    api.route("PATCH", "/v1/slices/{slice_id}", _guarded(patch_slice))
+    api.route("DELETE", "/v1/slices/{slice_id}", _guarded(delete_slice))
+    api.route("POST", "/v1/whatif", _guarded(post_whatif))
+    api.route("GET", "/v1/operations", _guarded(get_operations))
+    api.route("GET", "/v1/operations/{op_id}", _guarded(get_operation))
+    api.route("GET", "/v1/events", _guarded(get_events))
+    api.route("GET", "/v1/dashboard", _guarded(get_dashboard))
+    api.route("GET", "/v1/domains/{domain}", _guarded(get_domain))
+    return api
+
+
+__all__ = ["CREATE_MODES", "TENANT_HEADER", "build_v1_api"]

@@ -106,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.api.routes import build_orchestrator_api
     from repro.core.orchestrator import Orchestrator, OrchestratorConfig
     from repro.dashboard.dashboard import Dashboard
     from repro.experiments.testbed import build_testbed
@@ -126,14 +127,40 @@ def cmd_demo(args: argparse.Namespace) -> int:
         streams=streams,
     )
     orchestrator.start()
+    # Tenants talk to the orchestrator through the versioned northbound
+    # API, exactly as the demo dashboard would.  API clients cannot ship
+    # a TrafficProfile, so the generator's own profile draw is discarded
+    # and the service re-samples one from the vertical spec.
+    api = build_orchestrator_api(orchestrator)
+
+    def submit_via_v1(request, profile) -> None:
+        api.post(
+            "/v1/slices",
+            body={
+                "service_type": request.service_type.value,
+                "throughput_mbps": request.sla.throughput_mbps,
+                "max_latency_ms": request.sla.max_latency_ms,
+                "duration_s": request.sla.duration_s,
+                "availability": request.sla.availability,
+                "price": request.price,
+                "penalty_rate": request.penalty_rate,
+                "n_users": request.n_users,
+            },
+            headers={"X-Tenant-Id": request.tenant_id},
+        )
+
     generator = RequestGenerator(streams.stream("arrivals"), arrival_rate_per_s=1 / 300.0)
-    generator.drive(
-        sim,
-        args.hours * 3_600.0,
-        lambda request, profile: orchestrator.submit(request, profile),
-    )
+    generator.drive(sim, args.hours * 3_600.0, submit_via_v1)
     sim.run_until(args.hours * 3_600.0)
     print(Dashboard(orchestrator).render())
+    feed = api.get(f"/v1/events?since={max(0, orchestrator.events.last_seq - 8)}").body
+    if feed["events"]:
+        print("\n--- Recent events (GET /v1/events) ---")
+        for event in feed["events"]:
+            print(
+                f"  seq={event['seq']:<4d} t={event['time']:8.0f}s "
+                f"{event['type']:<20s} {event['slice_id'] or '-'}"
+            )
     return 0
 
 

@@ -95,12 +95,24 @@ class ResourceVector:
 
 @dataclass(frozen=True)
 class AdmissionDecision:
-    """Outcome of one admission evaluation."""
+    """Outcome of one admission evaluation.
+
+    Attributes:
+        request_id: The evaluated request.
+        admitted: Verdict.
+        reason: Human-readable justification.
+        expected_value: Revenue the decision expects to realize.
+        slice_id: Identity of the slice record the orchestrator created
+            for this request (admitted *and* rejected slices get one;
+            None for pure policy-layer decisions that never reached the
+            orchestrator, e.g. advance bookings not yet installed).
+    """
 
     request_id: str
     admitted: bool
     reason: str
     expected_value: float = 0.0
+    slice_id: Optional[str] = None
 
 
 #: Estimates the expected penalty cost of admitting a request; the

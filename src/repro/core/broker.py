@@ -17,7 +17,7 @@ ablated in ``benchmarks/bench_d9_batch_window.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.admission import AdmissionDecision, AdmissionPolicy, KnapsackPolicy
 from repro.core.orchestrator import Orchestrator
@@ -29,6 +29,10 @@ class BrokerError(RuntimeError):
     """Raised on broker misuse."""
 
 
+#: Notified with the final decision when a queued request's window flushes.
+DecisionCallback = Callable[[AdmissionDecision], None]
+
+
 @dataclass
 class PendingRequest:
     """A request waiting for the current window to close."""
@@ -36,6 +40,7 @@ class PendingRequest:
     request: SliceRequest
     profile: TrafficProfile
     enqueued_at: float
+    on_decision: Optional[DecisionCallback] = None
 
 
 class SliceBroker:
@@ -69,18 +74,27 @@ class SliceBroker:
         """Requests waiting in the current window."""
         return len(self._queue)
 
-    def submit(self, request: SliceRequest, profile: TrafficProfile) -> None:
+    def submit(
+        self,
+        request: SliceRequest,
+        profile: TrafficProfile,
+        on_decision: Optional[DecisionCallback] = None,
+    ) -> str:
         """Enqueue a request for the current decision window.
 
         Unlike :meth:`Orchestrator.submit`, no decision is returned —
         the tenant hears back when the window flushes (poll
-        :attr:`decisions` or the orchestrator's slice states).
+        :attr:`decisions`, the orchestrator's slice states, or pass an
+        ``on_decision`` callback, which the northbound API uses to
+        resolve its async operation resources).  Returns the request id
+        so callers can correlate the eventual decision.
         """
         self._queue.append(
             PendingRequest(
                 request=request,
                 profile=profile,
                 enqueued_at=self.orchestrator.sim.now,
+                on_decision=on_decision,
             )
         )
         if not self._flush_armed:
@@ -88,6 +102,7 @@ class SliceBroker:
             self.orchestrator.sim.schedule(
                 self.window_s, self.flush, name="broker-window-flush"
             )
+        return request.request_id
 
     def flush(self) -> List[AdmissionDecision]:
         """Close the window: batch-decide and install/reject everything."""
@@ -113,32 +128,32 @@ class SliceBroker:
             zip(batch, batch_decisions), candidates
         ):
             if not decision.admitted:
-                outcomes.append(
-                    self.orchestrator.reject(pending.request, decision.reason)
-                )
-                continue
-            # Winners must still respect capacity promised to advance
-            # bookings ("upcoming requests", paper §2) — same check
-            # Orchestrator.submit applies online.
-            if self.orchestrator.config.respect_calendar:
-                horizon = (
-                    now
-                    + pending.request.sla.duration_s
-                    + self.orchestrator.config.deploy_time_s
-                )
-                if not self.orchestrator.calendar.fits(demand, now, horizon):
-                    outcomes.append(
-                        self.orchestrator.reject(
+                outcome = self.orchestrator.reject(pending.request, decision.reason)
+            else:
+                outcome = None
+                # Winners must still respect capacity promised to advance
+                # bookings ("upcoming requests", paper §2) — same check
+                # Orchestrator.submit applies online.
+                if self.orchestrator.config.respect_calendar:
+                    horizon = (
+                        now
+                        + pending.request.sla.duration_s
+                        + self.orchestrator.config.deploy_time_s
+                    )
+                    if not self.orchestrator.calendar.fits(demand, now, horizon):
+                        outcome = self.orchestrator.reject(
                             pending.request,
                             "conflicts with advance reservations on the calendar",
                         )
+                if outcome is None:
+                    outcome = self.orchestrator.install_admitted(
+                        pending.request, pending.profile
                     )
-                    continue
-            outcomes.append(
-                self.orchestrator.install_admitted(pending.request, pending.profile)
-            )
+            outcomes.append(outcome)
+            if pending.on_decision is not None:
+                pending.on_decision(outcome)
         self.decisions.extend(outcomes)
         return outcomes
 
 
-__all__ = ["BrokerError", "PendingRequest", "SliceBroker"]
+__all__ = ["BrokerError", "DecisionCallback", "PendingRequest", "SliceBroker"]

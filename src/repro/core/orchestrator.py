@@ -38,6 +38,7 @@ from repro.core.admission import (
     ResourceVector,
 )
 from repro.core.allocation import AllocationError, MultiDomainAllocator
+from repro.core.events import EventLog
 from repro.core.forecasting import Forecaster, ForecastError, HoltWintersForecaster
 from repro.core.overbooking import (
     AdaptiveOverbooking,
@@ -91,6 +92,8 @@ class OrchestratorConfig:
             calendar ("accounting for ... upcoming requests", paper §2).
             Disabled only by the D11 ablation, which quantifies the
             promise-breaking a myopic broker causes.
+        event_log_capacity: Retention of the northbound event feed
+            (``GET /v1/events``); oldest events are evicted beyond it.
     """
 
     monitoring_epoch_s: float = 60.0
@@ -102,6 +105,7 @@ class OrchestratorConfig:
     max_ues_per_slice: int = 8
     self_healing: bool = True
     respect_calendar: bool = True
+    event_log_capacity: int = 1024
 
 
 @dataclass
@@ -150,6 +154,7 @@ class Orchestrator:
             cloud=allocator.cloud,
         )
         self.ledger = RevenueLedger()
+        self.events = EventLog(capacity=self.config.event_log_capacity)
         self.sla_monitor = SlaMonitor()
         self.gain_tracker = MultiplexingGainTracker()
         from repro.core.calendar import ResourceCalendar
@@ -210,8 +215,7 @@ class Orchestrator:
         free = self.allocator.free_vector()
         decision = self.admission.decide(request, shrunk, free)
         if not decision.admitted:
-            self.reject(request, decision.reason)
-            return decision
+            return self.reject(request, decision.reason)
         # "Accounting for ... upcoming requests" (paper §2): an immediate
         # slice must not consume capacity promised to advance bookings.
         if self.config.respect_calendar:
@@ -273,8 +277,18 @@ class Orchestrator:
         self._all_slices[network_slice.slice_id] = network_slice
         network_slice.transition(SliceState.REJECTED, self.sim.now)
         self.ledger.book_rejection(request, reason, self.sim.now)
+        self.events.emit(
+            self.sim.now,
+            "slice.rejected",
+            slice_id=network_slice.slice_id,
+            tenant_id=request.tenant_id,
+            reason=reason,
+        )
         return AdmissionDecision(
-            request_id=request.request_id, admitted=False, reason=reason
+            request_id=request.request_id,
+            admitted=False,
+            reason=reason,
+            slice_id=network_slice.slice_id,
         )
 
     def install_admitted(
@@ -295,10 +309,18 @@ class Orchestrator:
         except PlmnPoolExhausted as exc:
             network_slice.transition(SliceState.REJECTED, self.sim.now)
             self.ledger.book_rejection(request, str(exc), self.sim.now)
+            self.events.emit(
+                self.sim.now,
+                "slice.rejected",
+                slice_id=network_slice.slice_id,
+                tenant_id=request.tenant_id,
+                reason=str(exc),
+            )
             return AdmissionDecision(
                 request_id=request.request_id,
                 admitted=False,
                 reason=str(exc),
+                slice_id=network_slice.slice_id,
             )
         network_slice.plmn = plmn
         try:
@@ -308,13 +330,28 @@ class Orchestrator:
             network_slice.plmn = None
             network_slice.transition(SliceState.REJECTED, self.sim.now)
             self.ledger.book_rejection(request, str(exc), self.sim.now)
+            self.events.emit(
+                self.sim.now,
+                "slice.rejected",
+                slice_id=network_slice.slice_id,
+                tenant_id=request.tenant_id,
+                reason=str(exc),
+            )
             return AdmissionDecision(
                 request_id=request.request_id,
                 admitted=False,
                 reason=str(exc),
+                slice_id=network_slice.slice_id,
             )
         network_slice.transition(SliceState.ADMITTED, self.sim.now)
         self.ledger.book_admission(network_slice.slice_id, request)
+        self.events.emit(
+            self.sim.now,
+            "slice.admitted",
+            slice_id=network_slice.slice_id,
+            tenant_id=request.tenant_id,
+            price=request.price,
+        )
         # Keep the calendar in sync (advance bookings committed earlier
         # keep their original window).
         if not self.calendar.has(request.request_id):
@@ -341,6 +378,7 @@ class Orchestrator:
             admitted=True,
             reason="installed",
             expected_value=request.price,
+            slice_id=network_slice.slice_id,
         )
 
     def _activate(self, slice_id: str) -> None:
@@ -351,6 +389,12 @@ class Orchestrator:
         if network_slice.state is not SliceState.DEPLOYING:
             return
         network_slice.transition(SliceState.ACTIVE, self.sim.now)
+        self.events.emit(
+            self.sim.now,
+            "slice.activated",
+            slice_id=slice_id,
+            tenant_id=network_slice.request.tenant_id,
+        )
         if self.config.simulate_ues:
             self._spawn_ues(runtime)
         # Expiry is measured from activation (the SLA's duration).
@@ -410,6 +454,45 @@ class Orchestrator:
         self._expire(slice_id)
         return amount
 
+    def cancel(self, slice_id: str, refund: bool = True) -> float:
+        """Tenant-initiated cancellation of a slice that is not yet ACTIVE.
+
+        An ADMITTED/DEPLOYING slice has committed resources but serves no
+        traffic yet, so cancelling releases everything and (optionally)
+        refunds the full price.  The already-scheduled activation event
+        fires harmlessly: ``_activate`` ignores slices whose state left
+        DEPLOYING.  Returns the refund amount.
+
+        Raises:
+            OrchestratorError: If the slice is unknown or already ACTIVE
+                (use :meth:`terminate_early`) or terminal.
+        """
+        runtime = self._runtimes.get(slice_id)
+        if runtime is None or runtime.network_slice.state not in (
+            SliceState.ADMITTED,
+            SliceState.DEPLOYING,
+        ):
+            raise OrchestratorError(f"slice {slice_id} is not pending activation")
+        self._runtimes.pop(slice_id)
+        network_slice = runtime.network_slice
+        self.allocator.release(network_slice)
+        self.plmn_pool.release(slice_id)
+        if self.calendar.has(network_slice.request.request_id):
+            self.calendar.release(network_slice.request.request_id)
+        amount = 0.0
+        if refund:
+            amount = network_slice.request.price
+            self.ledger.book_refund(slice_id, amount)
+        network_slice.transition(SliceState.CANCELLED, self.sim.now)
+        self.events.emit(
+            self.sim.now,
+            "slice.cancelled",
+            slice_id=slice_id,
+            tenant_id=network_slice.request.tenant_id,
+            refund=amount,
+        )
+        return amount
+
     def _expire(self, slice_id: str) -> None:
         runtime = self._runtimes.pop(slice_id, None)
         if runtime is None:
@@ -427,6 +510,14 @@ class Orchestrator:
         if self.calendar.has(network_slice.request.request_id):
             self.calendar.release(network_slice.request.request_id)
         network_slice.transition(SliceState.EXPIRED, self.sim.now)
+        self.events.emit(
+            self.sim.now,
+            "slice.expired",
+            slice_id=slice_id,
+            tenant_id=network_slice.request.tenant_id,
+            violation_epochs=network_slice.violation_epochs,
+            served_epochs=network_slice.served_epochs,
+        )
 
     def what_if(self, request: SliceRequest) -> dict:
         """Evaluate a hypothetical request without committing anything.
@@ -561,6 +652,15 @@ class Orchestrator:
             network_slice.record_epoch(violated)
             if violated:
                 self.ledger.book_penalty(slice_id, network_slice.request.penalty_rate)
+                self.events.emit(
+                    now,
+                    "sla.violation",
+                    slice_id=slice_id,
+                    tenant_id=network_slice.request.tenant_id,
+                    demand_mbps=float(demand),
+                    delivered_mbps=float(delivered),
+                    penalty=network_slice.request.penalty_rate,
+                )
             if isinstance(self.overbooking, AdaptiveOverbooking):
                 self.overbooking.observe(violated)
             self.collector.record_slice_epoch(now, slice_id, demand, delivered, violated)
@@ -600,6 +700,12 @@ class Orchestrator:
                 cloud=allocation.cloud,
             )
             self.metrics.record(self.sim.now, "slice.path_repaired", 1.0, label=slice_id)
+            self.events.emit(
+                self.sim.now,
+                "slice.path_repaired",
+                slice_id=slice_id,
+                tenant_id=runtime.network_slice.request.tenant_id,
+            )
 
     def _transport_cap_mbps(self, runtime: SliceRuntime, demand: float) -> float:
         """Throughput ceiling the transport path imposes this epoch.
@@ -652,10 +758,19 @@ class Orchestrator:
             if abs(new_fraction - runtime.effective_fraction) < 0.02:
                 continue
             try:
+                old_fraction = runtime.effective_fraction
                 self.allocator.resize(runtime.network_slice, new_fraction)
                 runtime.effective_fraction = new_fraction
                 self.metrics.record(
                     self.sim.now, "slice.effective_fraction", new_fraction, label=slice_id
+                )
+                self.events.emit(
+                    self.sim.now,
+                    "slice.reconfigured",
+                    slice_id=slice_id,
+                    tenant_id=runtime.network_slice.request.tenant_id,
+                    old_fraction=old_fraction,
+                    new_fraction=new_fraction,
                 )
                 # Keep the calendar booking in step with the shrunk
                 # commitment, so admission sees the freed capacity.

@@ -225,16 +225,18 @@ class SliceState(enum.Enum):
     ACTIVE = "active"
     EXPIRED = "expired"
     REJECTED = "rejected"
+    CANCELLED = "cancelled"
     FAILED = "failed"
 
 
 _LEGAL_TRANSITIONS: Dict[SliceState, frozenset] = {
     SliceState.PENDING: frozenset({SliceState.ADMITTED, SliceState.REJECTED}),
-    SliceState.ADMITTED: frozenset({SliceState.DEPLOYING, SliceState.FAILED}),
-    SliceState.DEPLOYING: frozenset({SliceState.ACTIVE, SliceState.FAILED}),
+    SliceState.ADMITTED: frozenset({SliceState.DEPLOYING, SliceState.CANCELLED, SliceState.FAILED}),
+    SliceState.DEPLOYING: frozenset({SliceState.ACTIVE, SliceState.CANCELLED, SliceState.FAILED}),
     SliceState.ACTIVE: frozenset({SliceState.EXPIRED, SliceState.FAILED}),
     SliceState.EXPIRED: frozenset(),
     SliceState.REJECTED: frozenset(),
+    SliceState.CANCELLED: frozenset(),
     SliceState.FAILED: frozenset(),
 }
 

@@ -1,0 +1,123 @@
+"""Parity tests: the deprecated unversioned routes answer through the
+same SliceService as /v1 and keep their historical shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.routes import build_orchestrator_api
+from repro.core.orchestrator import Orchestrator
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+@pytest.fixture
+def stack(testbed):
+    sim = Simulator()
+    orchestrator = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        streams=RandomStreams(seed=2),
+    )
+    orchestrator.start()
+    return sim, orchestrator, build_orchestrator_api(orchestrator)
+
+
+def slice_body(**overrides):
+    body = {
+        "service_type": "embb",
+        "throughput_mbps": 10.0,
+        "max_latency_ms": 50.0,
+        "duration_s": 3_600.0,
+        "price": 100.0,
+        "penalty_rate": 1.0,
+        "tenant_id": "tester",
+    }
+    body.update(overrides)
+    return body
+
+
+class TestLegacyShapes:
+    def test_post_keeps_flat_shape_with_real_slice_id(self, stack):
+        _, orchestrator, api = stack
+        response = api.post("/slices", body=slice_body())
+        assert response.status == 201
+        assert set(response.body) == {"request_id", "slice_id", "admitted", "reason"}
+        # Real id from the decision: it resolves in the orchestrator.
+        assert orchestrator.slice(response.body["slice_id"]).state.value == "deploying"
+
+    def test_post_rejection_slice_id_none(self, stack):
+        _, _, api = stack
+        response = api.post("/slices", body=slice_body(throughput_mbps=500.0))
+        assert response.status == 409
+        assert response.body["slice_id"] is None
+
+    def test_errors_stay_flat_strings(self, stack):
+        _, _, api = stack
+        response = api.post("/slices", body={"service_type": "embb"})
+        assert response.status == 400
+        assert isinstance(response.body["error"], str)
+        assert "missing" in response.body["error"]
+        assert api.get("/slices/slice-999999").body["error"].startswith("unknown slice")
+
+    def test_listing_matches_v1(self, stack):
+        _, _, api = stack
+        api.post("/slices", body=slice_body())
+        api.post("/slices", body=slice_body(tenant_id="other"))
+        legacy = api.get("/slices").body["slices"]
+        v1 = api.get("/v1/slices").body["slices"]
+        assert legacy == v1
+
+    def test_detail_matches_v1(self, stack):
+        _, _, api = stack
+        created = api.post("/slices", body=slice_body()).body
+        legacy = api.get(f"/slices/{created['slice_id']}").body
+        v1 = api.get(f"/v1/slices/{created['slice_id']}").body
+        assert legacy == v1
+
+    def test_dashboard_matches_v1(self, stack):
+        sim, _, api = stack
+        api.post("/slices", body=slice_body())
+        sim.run_until(120.0)
+        assert api.get("/dashboard").body == api.get("/v1/dashboard").body
+
+    def test_domain_matches_v1(self, stack):
+        _, _, api = stack
+        for domain in ("ran", "transport", "cloud"):
+            assert (
+                api.get(f"/domains/{domain}").body
+                == api.get(f"/v1/domains/{domain}").body
+            )
+
+    def test_whatif_matches_v1(self, stack):
+        _, _, api = stack
+        body = {
+            "service_type": "urllc",
+            "throughput_mbps": 5.0,
+            "max_latency_ms": 8.0,
+            "duration_s": 600.0,
+        }
+        legacy = api.post("/whatif", body=body).body
+        v1 = api.post("/v1/whatif", body=body).body
+        # request_id differs per probe; everything else must match.
+        legacy.pop("request_id")
+        v1.pop("request_id")
+        assert legacy == v1
+
+    def test_legacy_delete_cancels_pending(self, stack):
+        _, _, api = stack
+        created = api.post("/slices", body=slice_body()).body
+        response = api.delete(f"/slices/{created['slice_id']}")
+        assert response.status == 200
+        assert response.body["state"] == "cancelled"
+
+    def test_shared_service_state(self, stack):
+        """A slice created through the legacy route is visible via v1
+        and vice versa — one service, one orchestrator."""
+        sim, _, api = stack
+        legacy_id = api.post("/slices", body=slice_body()).body["slice_id"]
+        v1_id = api.post("/v1/slices", body=slice_body()).body["slice_id"]
+        listing = api.get("/v1/slices").body
+        ids = {s["slice_id"] for s in listing["slices"]}
+        assert {legacy_id, v1_id} <= ids

@@ -77,5 +77,62 @@ def test_response_json_serialization():
     assert response.json() == '{"a": 1, "b": 2}'
 
 
+def test_response_json_robust_to_numpy():
+    """Numpy scalars/arrays leak out of orchestrator snapshots and
+    domain utilization dicts; Response.json() must coerce them."""
+    import json
+
+    import numpy as np
+
+    response = Response(
+        status=200,
+        body={
+            "int": np.int64(3),
+            "float": np.float32(1.5),
+            "bool": np.bool_(True),
+            "array": np.array([1.0, 2.0]),
+            "nested": {"more": [np.int32(7)]},
+        },
+    )
+    decoded = json.loads(response.json())
+    assert decoded == {
+        "int": 3,
+        "float": 1.5,
+        "bool": True,
+        "array": [1.0, 2.0],
+        "nested": {"more": [7]},
+    }
+
+
+def test_response_json_still_rejects_unserializable():
+    import pytest as _pytest
+
+    with _pytest.raises(TypeError):
+        Response(status=200, body={"x": object()}).json()
+
+
 def test_param_does_not_match_across_segments(api):
     assert api.get("/things/1/extra").status == 404
+
+
+def test_query_string_parsed(api):
+    def echo_query(request):
+        return {"query": request.query}
+
+    api.route("GET", "/echo", echo_query)
+    response = api.get("/echo?a=1&b=two&empty=")
+    assert response.body == {"query": {"a": "1", "b": "two", "empty": ""}}
+
+
+def test_query_string_does_not_break_routing(api):
+    assert api.get("/things/42?verbose=1").body == {"id": "42"}
+
+
+def test_headers_case_insensitive(api):
+    def echo_tenant(request):
+        return {"tenant": request.header("X-Tenant-Id")}
+
+    api.route("GET", "/whoami", echo_tenant)
+    response = api.get("/whoami", headers={"X-TENANT-ID": "alpha"})
+    assert response.body == {"tenant": "alpha"}
+    assert api.get("/whoami").body == {"tenant": None}

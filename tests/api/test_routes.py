@@ -93,9 +93,23 @@ class TestDeleteSlice:
         detail = api.get(f"/slices/{created['slice_id']}")
         assert detail.body["state"] == "expired"
 
-    def test_delete_before_active_409(self, stack):
+    def test_delete_before_active_cancels(self, stack):
+        """Deleting a slice still pending activation cancels it with a
+        full refund instead of answering a blanket 409."""
         sim, orchestrator, api = stack
         created = api.post("/slices", body=slice_body()).body
+        response = api.delete(f"/slices/{created['slice_id']}")
+        assert response.status == 200
+        assert response.body["state"] == "cancelled"
+        assert response.body["refund"] == pytest.approx(100.0)
+        detail = api.get(f"/slices/{created['slice_id']}")
+        assert detail.body["state"] == "cancelled"
+
+    def test_delete_terminal_slice_409(self, stack):
+        sim, orchestrator, api = stack
+        created = api.post("/slices", body=slice_body()).body
+        sim.run_until(10.0)
+        assert api.delete(f"/slices/{created['slice_id']}").status == 200
         response = api.delete(f"/slices/{created['slice_id']}")
         assert response.status == 409
 

@@ -1,0 +1,171 @@
+"""Tests for the declarative v1 request schemas and error envelope."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.schemas import (
+    SLICE_CREATE,
+    SLICE_MODIFY,
+    ValidationError,
+    WHAT_IF,
+    error_body,
+    parse_pagination,
+)
+from repro.core.slices import ServiceType
+
+
+def create_body(**overrides):
+    body = {
+        "service_type": "embb",
+        "throughput_mbps": 15.0,
+        "max_latency_ms": 50.0,
+        "duration_s": 3_600.0,
+        "price": 100.0,
+        "penalty_rate": 1.0,
+    }
+    body.update(overrides)
+    return body
+
+
+class TestSliceCreateSchema:
+    def test_valid_body_parses_with_defaults(self):
+        parsed = SLICE_CREATE.parse(create_body())
+        assert parsed["service_type"] is ServiceType.EMBB
+        assert parsed["throughput_mbps"] == 15.0
+        assert parsed["availability"] == 0.95
+        assert parsed["n_users"] == 10
+        assert parsed["tenant_id"] is None
+
+    def test_missing_fields_reported_together(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse({"service_type": "embb"})
+        exc = exc_info.value
+        assert exc.code == "missing_field"
+        assert "throughput_mbps" in exc.message
+        assert "price" in exc.message
+        assert exc.field == "throughput_mbps"
+
+    def test_unknown_service_type(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(service_type="warp-drive"))
+        exc = exc_info.value
+        assert exc.code == "invalid_value"
+        assert exc.field == "service_type"
+        assert "embb" in exc.message
+
+    def test_non_numeric_throughput(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(throughput_mbps="fast"))
+        assert exc_info.value.code == "invalid_type"
+        assert exc_info.value.field == "throughput_mbps"
+
+    def test_boolean_is_not_a_number(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(price=True))
+        assert exc_info.value.code == "invalid_type"
+
+    def test_negative_throughput_out_of_range(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(throughput_mbps=-5.0))
+        assert exc_info.value.code == "invalid_value"
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", float("nan"), float("inf")])
+    def test_non_finite_floats_rejected(self, bad):
+        """NaN/Infinity pass naive range checks (NaN comparisons are
+        all False) — the schema must reject them outright."""
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(throughput_mbps=bad))
+        assert exc_info.value.code == "invalid_value"
+        with pytest.raises(ValidationError):
+            SLICE_CREATE.parse(create_body(price=bad))
+
+    def test_non_finite_int_rejected(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(n_users=float("nan")))
+        assert exc_info.value.code == "invalid_value"
+
+    def test_availability_above_one_rejected(self):
+        with pytest.raises(ValidationError):
+            SLICE_CREATE.parse(create_body(availability=1.5))
+
+    def test_fractional_n_users_rejected(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(create_body(n_users=2.5))
+        assert exc_info.value.code == "invalid_type"
+
+    def test_numeric_strings_are_coerced(self):
+        parsed = SLICE_CREATE.parse(create_body(throughput_mbps="15.5", n_users="4"))
+        assert parsed["throughput_mbps"] == 15.5
+        assert parsed["n_users"] == 4
+
+    def test_unknown_fields_ignored(self):
+        parsed = SLICE_CREATE.parse(create_body(flux_capacitor=True))
+        assert "flux_capacitor" not in parsed
+
+    def test_non_dict_body_rejected(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_CREATE.parse(["not", "a", "dict"])
+        assert exc_info.value.code == "invalid_body"
+
+
+class TestOtherSchemas:
+    def test_modify_requires_throughput(self):
+        with pytest.raises(ValidationError) as exc_info:
+            SLICE_MODIFY.parse({})
+        assert exc_info.value.code == "missing_field"
+        assert SLICE_MODIFY.parse({"throughput_mbps": 25})["throughput_mbps"] == 25.0
+
+    def test_whatif_defaults(self):
+        parsed = WHAT_IF.parse(create_body())
+        assert parsed["price"] == 100.0
+        minimal = {
+            "service_type": "urllc",
+            "throughput_mbps": 5.0,
+            "max_latency_ms": 8.0,
+            "duration_s": 600.0,
+        }
+        parsed = WHAT_IF.parse(minimal)
+        assert parsed["price"] == 0.0
+        assert parsed["penalty_rate"] == 0.0
+
+
+class TestErrorEnvelope:
+    def test_envelope_shape(self):
+        body = error_body("invalid_type", "nope", field="price")
+        assert body == {
+            "error": {"code": "invalid_type", "message": "nope", "field": "price"}
+        }
+
+    def test_envelope_without_field(self):
+        body = error_body("not_found", "gone")
+        assert "field" not in body["error"]
+
+    def test_validation_error_to_response(self):
+        response = ValidationError("invalid_value", "bad", field="x").to_response()
+        assert response.status == 400
+        assert response.body["error"]["code"] == "invalid_value"
+
+
+class TestPagination:
+    def test_defaults(self):
+        assert parse_pagination({}) == (0, 50)
+
+    def test_explicit_values(self):
+        assert parse_pagination({"offset": "5", "limit": "2"}) == (5, 2)
+
+    def test_limit_clamped(self):
+        assert parse_pagination({"limit": "100000"}) == (0, 500)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValidationError) as exc_info:
+            parse_pagination({"offset": "-1"})
+        assert exc_info.value.code == "invalid_parameter"
+
+    def test_non_integer_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_pagination({"limit": "lots"})
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_pagination({"limit": "0"})

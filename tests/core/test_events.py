@@ -1,0 +1,83 @@
+"""Tests for the bounded orchestration event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventLog, EventLogError
+
+
+class TestEventLog:
+    def test_seq_is_monotonic_from_one(self):
+        log = EventLog()
+        first = log.emit(0.0, "slice.admitted", slice_id="slice-1")
+        second = log.emit(1.0, "slice.activated", slice_id="slice-1")
+        assert (first.seq, second.seq) == (1, 2)
+        assert log.last_seq == 2
+
+    def test_since_excludes_cursor(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit(float(i), "tick")
+        events = log.since(3)
+        assert [e.seq for e in events] == [4, 5]
+        assert log.since(5) == []
+
+    def test_since_limit(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit(float(i), "tick")
+        assert [e.seq for e in log.since(0, limit=2)] == [1, 2]
+
+    def test_capacity_evicts_oldest_but_keeps_seq(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit(float(i), "tick")
+        assert len(log) == 3
+        assert log.first_seq == 8
+        assert log.last_seq == 10
+        # A consumer whose cursor fell behind retention sees the gap.
+        assert [e.seq for e in log.since(0)] == [8, 9, 10]
+
+    def test_to_dict_shape(self):
+        log = EventLog()
+        event = log.emit(2.5, "sla.violation", slice_id="s", tenant_id="t", penalty=1.0)
+        assert event.to_dict() == {
+            "seq": 1,
+            "time": 2.5,
+            "type": "sla.violation",
+            "slice_id": "s",
+            "tenant_id": "t",
+            "data": {"penalty": 1.0},
+        }
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EventLogError):
+            EventLog(capacity=0)
+        with pytest.raises(EventLogError):
+            EventLog().since(-1)
+
+
+class TestOrchestratorEmission:
+    def test_expiry_and_violation_events(self, testbed):
+        from repro.core.orchestrator import Orchestrator
+        from repro.sim.engine import Simulator
+        from repro.sim.randomness import RandomStreams
+        from repro.traffic.patterns import ConstantProfile
+        from tests.conftest import make_request
+
+        sim = Simulator()
+        orchestrator = Orchestrator(
+            sim=sim,
+            allocator=testbed.allocator,
+            plmn_pool=testbed.plmn_pool,
+            streams=RandomStreams(seed=7),
+        )
+        orchestrator.start()
+        request = make_request(duration_s=600.0)
+        orchestrator.submit(request, ConstantProfile(20.0, level=0.5))
+        sim.run_until(1_000.0)
+        types = [e.event_type for e in orchestrator.events.since(0)]
+        assert "slice.admitted" in types
+        assert "slice.activated" in types
+        assert "slice.expired" in types

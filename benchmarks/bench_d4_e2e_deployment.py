@@ -87,7 +87,10 @@ def test_d4_acceptance_vs_load(benchmark):
         runtime = orch._runtimes.pop(slice_id, None)
         if runtime is None:
             return
-        orch.allocator.release(runtime.network_slice)
+        # Release through the driver registry, not the raw allocator —
+        # otherwise every timed iteration leaks a reservation record
+        # (and a running EpcInstance) inside the drivers.
+        orch._release_domains(runtime.network_slice)
         orch.plmn_pool.release(slice_id)
         request_id = runtime.network_slice.request.request_id
         if orch.calendar.has(request_id):

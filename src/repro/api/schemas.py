@@ -263,6 +263,17 @@ SLICE_CREATE = Schema(
     ),
 )
 
+#: ``POST /v1/bookings`` — advance reservation: exactly a slice create
+#: plus the future start instant checked against the resource calendar
+#: (composed from ``SLICE_CREATE`` so the two surfaces cannot drift).
+BOOKING_CREATE = Schema(
+    "BookingCreate",
+    SLICE_CREATE.fields + (
+        Field("start_time", kind="float", minimum=0.0,
+              doc="Simulation instant the slice should activate (future)."),
+    ),
+)
+
 #: ``PATCH /v1/slices/{slice_id}`` — throughput rescale.
 SLICE_MODIFY = Schema(
     "SliceModify",
@@ -333,6 +344,7 @@ def parse_pagination(
 
 
 __all__ = [
+    "BOOKING_CREATE",
     "Field",
     "SLICE_CREATE",
     "SLICE_MODIFY",

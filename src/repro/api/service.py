@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.schemas import (
+    BOOKING_CREATE,
     SLICE_CREATE,
     SLICE_MODIFY,
     ValidationError,
@@ -37,6 +38,7 @@ from repro.core.slices import (
     SliceError,
     SliceRequest,
     SliceState,
+    slice_id_for,
 )
 from repro.traffic.patterns import TrafficProfile
 from repro.traffic.verticals import vertical_for
@@ -69,6 +71,27 @@ class Conflict(ServiceError):
     code = "conflict"
 
 
+class QuotaExceeded(ServiceError):
+    """The tenant is at its quota; retry after slices expire (429)."""
+
+    status = 429
+    code = "quota_exceeded"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission ceilings enforced by the service layer.
+
+    ``None`` means unlimited.  A quota counts slices that currently
+    hold (or are about to hold) resources — ADMITTED, DEPLOYING and
+    ACTIVE — against ``max_active_slices``, and their summed SLA
+    throughput against ``max_aggregate_mbps``.
+    """
+
+    max_active_slices: Optional[int] = None
+    max_aggregate_mbps: Optional[float] = None
+
+
 @dataclass
 class Operation:
     """An asynchronous API operation (currently: batch slice creation).
@@ -85,6 +108,8 @@ class Operation:
     status: str = "pending"
     decision: Optional[AdmissionDecision] = None
     resolved_at: Optional[float] = None
+    #: SLA throughput of the queued request (quota accounting).
+    throughput_mbps: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -137,7 +162,12 @@ class OperationStore:
             del self._ops[victim]
 
     def create(
-        self, kind: str, request_id: str, tenant_id: str, now: float
+        self,
+        kind: str,
+        request_id: str,
+        tenant_id: str,
+        now: float,
+        throughput_mbps: float = 0.0,
     ) -> Operation:
         op = Operation(
             op_id=f"op-{next(self._counter):06d}",
@@ -145,6 +175,7 @@ class OperationStore:
             request_id=request_id,
             tenant_id=tenant_id,
             created_at=now,
+            throughput_mbps=throughput_mbps,
         )
         self._ops[op.op_id] = op
         self._evict()
@@ -176,6 +207,9 @@ class SliceService:
         broker: Batch-window broker used by ``mode=batch`` submissions;
             one with the default 300 s window is created when omitted.
         operation_capacity: Retention of the async-operation registry.
+        quotas: Per-tenant :class:`TenantQuota` overrides.
+        default_quota: Quota applied to tenants without an override
+            (None — the default — disables quota enforcement for them).
     """
 
     def __init__(
@@ -183,10 +217,108 @@ class SliceService:
         orchestrator: Orchestrator,
         broker: Optional[SliceBroker] = None,
         operation_capacity: int = 1024,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
     ) -> None:
         self.orchestrator = orchestrator
         self.broker = broker or SliceBroker(orchestrator)
         self.operations = OperationStore(capacity=operation_capacity)
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        # request_id -> (tenant, throughput_mbps) for API-created advance
+        # bookings; pruned lazily once the calendar drops the booking.
+        self._bookings: Dict[str, Tuple[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Quotas
+    # ------------------------------------------------------------------
+    def quota_for(self, tenant_id: str) -> Optional[TenantQuota]:
+        """The quota applying to ``tenant_id`` (None = unlimited)."""
+        return self.quotas.get(tenant_id, self.default_quota)
+
+    def _request_installed(self, request_id: str) -> bool:
+        """Whether a request's install already fired (a slice record —
+        admitted or rejected — exists for it).  O(1)."""
+        return self.orchestrator.has_slice(slice_id_for(request_id))
+
+    def _prune_stale_bookings(self) -> None:
+        """Drop booking records that no longer represent *future* load.
+
+        With the calendar respected (the default), the calendar itself
+        is the source of truth: a booking it dropped was released
+        (expired, cancelled, failed install).  With
+        ``respect_calendar=False`` the calendar never held the booking,
+        so a record lives until its install fires (the slice record —
+        admitted or rejected — then exists).
+        """
+        if getattr(self.orchestrator.config, "respect_calendar", True):
+            calendar = self.orchestrator.calendar
+            stale = [rid for rid in self._bookings if not calendar.has(rid)]
+        else:
+            stale = [rid for rid in self._bookings if self._request_installed(rid)]
+        for rid in stale:
+            del self._bookings[rid]
+
+    def quota_usage(self, tenant_id: str) -> Dict[str, float]:
+        """Current quota-relevant usage of a tenant.
+
+        Counts live slices (ADMITTED/DEPLOYING/ACTIVE) *plus* queued
+        future capacity — admitted advance bookings not installed yet
+        and pending batch operations — otherwise a tenant could queue
+        unlimited load through ``POST /v1/bookings`` or a broker window
+        and blow past its quota when it lands.  Cost is O(live + queued),
+        independent of the historical slice record.
+        """
+        live = [
+            s
+            for s in self.orchestrator.live_slices()
+            if s.request.tenant_id == tenant_id
+        ]
+        self._prune_stale_bookings()
+        queued = [
+            throughput
+            for rid, (owner, throughput) in self._bookings.items()
+            if owner == tenant_id and not self._request_installed(rid)
+        ]
+        queued += [
+            op.throughput_mbps
+            for op in self.operations.list(tenant_id)
+            if not op.done and not self._request_installed(op.request_id)
+        ]
+        return {
+            "active_slices": len(live) + len(queued),
+            "aggregate_mbps": sum(s.request.sla.throughput_mbps for s in live)
+            + sum(queued),
+        }
+
+    def _enforce_quota(self, tenant_id: str, throughput_mbps: float) -> None:
+        """Reject a submission that would push the tenant over quota.
+
+        Raises:
+            QuotaExceeded: With a message naming the exhausted limit.
+        """
+        quota = self.quota_for(tenant_id)
+        if quota is None:
+            return
+        usage = self.quota_usage(tenant_id)
+        if (
+            quota.max_active_slices is not None
+            and usage["active_slices"] + 1 > quota.max_active_slices
+        ):
+            raise QuotaExceeded(
+                f"tenant {tenant_id} is at its slice quota "
+                f"({usage['active_slices']:.0f}/{quota.max_active_slices} active)"
+            )
+        if (
+            quota.max_aggregate_mbps is not None
+            and usage["aggregate_mbps"] + throughput_mbps
+            > quota.max_aggregate_mbps + 1e-9
+        ):
+            raise QuotaExceeded(
+                f"tenant {tenant_id} would exceed its aggregate throughput quota "
+                f"({usage['aggregate_mbps']:.1f} + {throughput_mbps:.1f} > "
+                f"{quota.max_aggregate_mbps:.1f} Mb/s)"
+            )
 
     # ------------------------------------------------------------------
     # Payload → domain objects
@@ -234,6 +366,7 @@ class SliceService:
         """Synchronous (online) admission; returns the final decision."""
         parsed = SLICE_CREATE.parse(payload)
         tenant = self.resolve_tenant(header_tenant, parsed.get("tenant_id"))
+        self._enforce_quota(tenant, parsed["throughput_mbps"])
         request, profile = self.build_request(parsed, tenant)
         decision = self.orchestrator.submit(request, profile)
         return decision, request
@@ -249,6 +382,7 @@ class SliceService:
         """
         parsed = SLICE_CREATE.parse(payload)
         tenant = self.resolve_tenant(header_tenant, parsed.get("tenant_id"))
+        self._enforce_quota(tenant, parsed["throughput_mbps"])
         request, profile = self.build_request(parsed, tenant)
         now = self.orchestrator.sim.now
         op = self.operations.create(
@@ -256,6 +390,7 @@ class SliceService:
             request_id=request.request_id,
             tenant_id=tenant,
             now=now,
+            throughput_mbps=request.sla.throughput_mbps,
         )
         self.broker.submit(
             request,
@@ -265,6 +400,121 @@ class SliceService:
             ),
         )
         return op
+
+    def create_booking(
+        self, payload: Optional[dict], header_tenant: Optional[str] = None
+    ) -> Tuple[AdmissionDecision, SliceRequest, float]:
+        """Advance reservation: admit against the resource calendar.
+
+        The request is checked over its *whole future window* (ongoing
+        slices + already-promised bookings); an accepted booking is
+        committed to the calendar immediately and installed when
+        ``start_time`` arrives.  Returns (decision, request, start_time).
+
+        Raises:
+            ValidationError: Malformed payload, or ``start_time`` in
+                the past.
+            QuotaExceeded: Tenant at quota (checked at booking time).
+        """
+        parsed = BOOKING_CREATE.parse(payload)
+        tenant = self.resolve_tenant(header_tenant, parsed.get("tenant_id"))
+        # Prune here too: with quotas disabled, neither quota_usage nor
+        # a listing may ever run, and records must not pile up forever.
+        self._prune_stale_bookings()
+        self._enforce_quota(tenant, parsed["throughput_mbps"])
+        start_time = parsed["start_time"]
+        if start_time < self.orchestrator.sim.now:
+            raise ValidationError(
+                "invalid_value",
+                f"start_time must be in the future "
+                f"(start={start_time}, now={self.orchestrator.sim.now})",
+                field="start_time",
+            )
+        request, profile = self.build_request(parsed, tenant)
+        decision = self.orchestrator.submit_advance(request, profile, start_time)
+        if decision.admitted:
+            self._bookings[request.request_id] = (
+                tenant,
+                request.sla.throughput_mbps,
+            )
+        return decision, request, start_time
+
+    def cancel_booking(
+        self, booking_id: str, tenant_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Withdraw a pending advance booking, freeing its calendar
+        window and quota slot immediately.
+
+        Raises:
+            NotFound: Unknown booking, or owned by a different tenant
+                (bookings made outside the API are not cancellable here).
+            Conflict: The booking's install already fired — manage the
+                resulting slice via ``DELETE /v1/slices/{id}`` instead.
+        """
+        record = self._bookings.get(booking_id)
+        if record is None:
+            raise NotFound(f"unknown booking {booking_id}")
+        owner, _ = record
+        if tenant_id is not None and owner != tenant_id:
+            raise NotFound(f"unknown booking {booking_id}")
+        try:
+            self.orchestrator.cancel_advance(booking_id, tenant_id=owner)
+        except OrchestratorError:
+            raise Conflict(
+                f"booking {booking_id} already installed; manage the slice "
+                f"({slice_id_for(booking_id)}) instead"
+            ) from None
+        del self._bookings[booking_id]
+        return {"booking_id": booking_id, "state": "cancelled"}
+
+    def list_bookings(self, tenant_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """*Pending* advance bookings created through the API,
+        start-ordered (tenant-scoped when a tenant is given).
+
+        Driven by the service's own booking records, not the raw
+        calendar — the calendar also carries every immediate slice's
+        commitment, and a booking whose install already fired is a
+        slice (manage it via ``/v1/slices/{id}``), so neither appears
+        here.  Window details (``end``, ``demand``) are joined from the
+        calendar when it holds the booking (always, unless the
+        orchestrator runs with ``respect_calendar=False``).
+        """
+        self._prune_stale_bookings()
+        windows = {b.booking_id: b for b in self.orchestrator.calendar.bookings()}
+        out: List[Dict[str, Any]] = []
+        for rid, (owner, _) in self._bookings.items():
+            if tenant_id is not None and owner != tenant_id:
+                continue
+            if self._request_installed(rid):
+                continue  # now a slice — manage it via /v1/slices/{id}
+            window = windows.get(rid)
+            start = (
+                window.start
+                if window is not None
+                else self.orchestrator.advance_start_time(rid)
+            )
+            out.append(
+                {
+                    "booking_id": rid,
+                    "tenant_id": owner,
+                    "start": start,
+                    "end": window.end if window is not None else None,
+                    "demand": {
+                        "prbs": float(window.demand.prbs),
+                        "mbps": float(window.demand.mbps),
+                        "vcpus": float(window.demand.vcpus),
+                    }
+                    if window is not None
+                    else None,
+                }
+            )
+        out.sort(
+            key=lambda e: (
+                e["start"] if e["start"] is not None else float("inf"),
+                e["booking_id"],
+            )
+        )
+        return out
 
     def list_slices(
         self,
@@ -335,10 +585,41 @@ class SliceService:
         payload: Optional[dict],
         tenant_id: Optional[str] = None,
     ) -> AdmissionDecision:
-        """Rescale an ACTIVE slice's throughput SLA."""
+        """Rescale an ACTIVE slice's throughput SLA.
+
+        The grow is checked against the owner's aggregate-throughput
+        quota (otherwise create-small-then-PATCH-big would void it).
+
+        Raises:
+            QuotaExceeded: The rescale would exceed ``max_aggregate_mbps``.
+        """
         parsed = SLICE_MODIFY.parse(payload)
-        self.get_slice(slice_id, tenant_id)  # existence + tenancy
+        network_slice = self.get_slice(slice_id, tenant_id)  # existence + tenancy
+        self._enforce_rescale_quota(network_slice, parsed["throughput_mbps"])
         return self.orchestrator.modify_slice(slice_id, parsed["throughput_mbps"])
+
+    def _enforce_rescale_quota(
+        self, network_slice: NetworkSlice, new_throughput_mbps: float
+    ) -> None:
+        """Quota check for a rescale: the slice's own current share is
+        swapped out for the requested one before comparing."""
+        owner = network_slice.request.tenant_id
+        quota = self.quota_for(owner)
+        if quota is None or quota.max_aggregate_mbps is None:
+            return
+        usage = self.quota_usage(owner)
+        current = (
+            network_slice.request.sla.throughput_mbps
+            if network_slice.state
+            in (SliceState.ADMITTED, SliceState.DEPLOYING, SliceState.ACTIVE)
+            else 0.0
+        )
+        projected = usage["aggregate_mbps"] - current + new_throughput_mbps
+        if projected > quota.max_aggregate_mbps + 1e-9:
+            raise QuotaExceeded(
+                f"tenant {owner} would exceed its aggregate throughput quota "
+                f"({projected:.1f} > {quota.max_aggregate_mbps:.1f} Mb/s)"
+            )
 
     def what_if(
         self, payload: Optional[dict], header_tenant: Optional[str] = None
@@ -417,20 +698,19 @@ class SliceService:
         return self.orchestrator.snapshot()
 
     def domain(self, name: str) -> dict:
-        """Per-domain utilization.
+        """Per-domain utilization, served by the southbound driver
+        registry — any registered backend (incl. ``epc`` or injected
+        mocks) is addressable here.
 
         Raises:
             NotFound: Unknown domain name.
         """
-        controllers = {
-            "ran": self.orchestrator.allocator.ran,
-            "transport": self.orchestrator.allocator.transport,
-            "cloud": self.orchestrator.allocator.cloud,
-        }
-        controller = controllers.get(name)
-        if controller is None:
-            raise NotFound(f"unknown domain {name!r}; valid: {sorted(controllers)}")
-        return controller.utilization()
+        registry = self.orchestrator.registry
+        if name not in registry:
+            raise NotFound(
+                f"unknown domain {name!r}; valid: {sorted(registry.domains())}"
+            )
+        return registry.get(name).utilization()
 
 
 __all__ = [
@@ -439,6 +719,8 @@ __all__ = [
     "NotFound",
     "Operation",
     "OperationStore",
+    "QuotaExceeded",
     "ServiceError",
     "SliceService",
+    "TenantQuota",
 ]

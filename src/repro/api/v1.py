@@ -15,6 +15,10 @@ Endpoints (full reference in ``docs/API.md``):
   and ``offset``/``limit`` pagination.
 - ``GET|PATCH|DELETE /v1/slices/{slice_id}`` — detail / rescale /
   teardown (DELETE also cancels slices still pending activation).
+- ``POST /v1/bookings`` — advance reservation against the resource
+  calendar (**201** booked / **409** ``calendar_conflict``); ``GET
+  /v1/bookings`` lists pending API-created bookings; ``DELETE
+  /v1/bookings/{booking_id}`` withdraws one.
 - ``GET /v1/operations[/{op_id}]`` — poll async operations.
 - ``GET /v1/events?since=N`` — the bounded orchestration event feed.
 - ``POST /v1/whatif`` — feasibility probe.
@@ -48,6 +52,19 @@ def _tenant_of(request: Request) -> Optional[str]:
     """The scoping tenant: the X-Tenant-Id header, else a ``tenant``
     query parameter (convenience for GET collections), else None."""
     return request.header(TENANT_HEADER) or request.query.get("tenant") or None
+
+
+def _rejection_response(code: str, decision) -> Response:
+    """The 409 envelope for a rejected admission-style decision."""
+    body = error_body(code, decision.reason)
+    body.update(
+        {
+            "request_id": decision.request_id,
+            "slice_id": decision.slice_id,
+            "admitted": False,
+        }
+    )
+    return Response(status=409, body=body)
 
 
 def _guarded(handler: Handler) -> Handler:
@@ -92,15 +109,7 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
             )
         decision, slice_request = service.create_slice(request.body, header_tenant)
         if not decision.admitted:
-            body = error_body("admission_rejected", decision.reason)
-            body.update(
-                {
-                    "request_id": decision.request_id,
-                    "slice_id": decision.slice_id,
-                    "admitted": False,
-                }
-            )
-            return Response(status=409, body=body)
+            return _rejection_response("admission_rejected", decision)
         return Response(
             status=201,
             body={
@@ -159,6 +168,36 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
         result = service.delete_slice(request.params["slice_id"], _tenant_of(request))
         return Response(status=200, body=result)
 
+    def post_booking(request: Request) -> Response:
+        decision, slice_request, start_time = service.create_booking(
+            request.body, request.header(TENANT_HEADER)
+        )
+        if not decision.admitted:
+            return _rejection_response("calendar_conflict", decision)
+        return Response(
+            status=201,
+            body={
+                "booking_id": slice_request.request_id,
+                "request_id": slice_request.request_id,
+                "tenant_id": slice_request.tenant_id,
+                "start_time": start_time,
+                "admitted": True,
+                "reason": decision.reason,
+            },
+        )
+
+    def get_bookings(request: Request) -> Response:
+        bookings = service.list_bookings(_tenant_of(request))
+        return Response(
+            status=200, body={"bookings": bookings, "count": len(bookings)}
+        )
+
+    def delete_booking(request: Request) -> Response:
+        result = service.cancel_booking(
+            request.params["booking_id"], _tenant_of(request)
+        )
+        return Response(status=200, body=result)
+
     def post_whatif(request: Request) -> Response:
         report = service.what_if(request.body, request.header(TENANT_HEADER))
         return Response(status=200, body=report)
@@ -203,6 +242,9 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
     api.route("GET", "/v1/slices/{slice_id}", _guarded(get_slice))
     api.route("PATCH", "/v1/slices/{slice_id}", _guarded(patch_slice))
     api.route("DELETE", "/v1/slices/{slice_id}", _guarded(delete_slice))
+    api.route("POST", "/v1/bookings", _guarded(post_booking))
+    api.route("GET", "/v1/bookings", _guarded(get_bookings))
+    api.route("DELETE", "/v1/bookings/{booking_id}", _guarded(delete_booking))
     api.route("POST", "/v1/whatif", _guarded(post_whatif))
     api.route("GET", "/v1/operations", _guarded(get_operations))
     api.route("GET", "/v1/operations/{op_id}", _guarded(get_operation))

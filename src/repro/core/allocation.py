@@ -18,6 +18,18 @@ The allocator owns two cross-domain concerns:
 
 Failure in any domain rolls back the domains already committed, so a
 rejected slice never leaks resources.
+
+.. deprecated::
+   The *lifecycle* methods here (``allocate``/``release``/
+   ``modify_throughput``/``resize``) are the pre-driver-API commit path,
+   retained for direct tests and tooling.  Production installs go
+   through :mod:`repro.drivers` (the orchestrator's two-phase
+   transaction over the :class:`~repro.drivers.registry.DriverRegistry`);
+   mixing the two paths on one live testbed leaks driver-side
+   reservation records — release through the same path you installed
+   with.  The planning/feasibility surface (``demand_vector``,
+   ``free_vector``, ``candidate_datacenters``, ``transport_budget_ms``,
+   aggregate vectors) remains fully supported.
 """
 
 from __future__ import annotations
@@ -50,6 +62,7 @@ class AllocationError(RuntimeError):
     def __init__(self, domain: str, message: str) -> None:
         super().__init__(f"[{domain}] {message}")
         self.domain = domain
+        self.message = message
 
 
 @dataclass(frozen=True)
@@ -168,8 +181,12 @@ class MultiDomainAllocator:
     # ------------------------------------------------------------------
     # DC selection under the latency budget
     # ------------------------------------------------------------------
-    def _transport_budget_ms(self, request: SliceRequest, dc: Datacenter) -> float:
+    def transport_budget_ms(self, request: SliceRequest, dc: Datacenter) -> float:
+        """Path-delay budget left after the fixed RAN and DC terms."""
         return request.sla.max_latency_ms - RAN_SEGMENT_LATENCY_MS - dc.processing_delay_ms
+
+    # Backwards-compatible alias (pre-driver-API name).
+    _transport_budget_ms = transport_budget_ms
 
     def candidate_datacenters(self, request: SliceRequest, enb_node: str) -> List[Datacenter]:
         """Feasible DCs for the slice's vEPC, core-first when latency allows.

@@ -22,12 +22,22 @@ Responsibilities, mapped to the paper:
   a slower reconfiguration loop refits per-slice forecasters and
   resizes effective reservations (the *overbooking* step), freeing
   capacity to accommodate new slice requests.
+
+Southbound, the orchestrator speaks only the uniform
+:class:`~repro.drivers.base.DomainDriver` contract: installs run as a
+two-phase prepare/commit transaction across every driver in the
+:class:`~repro.drivers.registry.DriverRegistry` (with automatic
+rollback of already-prepared domains on any failure), and resizes,
+releases and self-healing route through the same drivers.  Placement
+planning (cell/DC selection, free-capacity vectors) still consults the
+allocator's topology views — the documented boundary of the driver
+abstraction (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,8 +47,21 @@ from repro.core.admission import (
     FcfsPolicy,
     ResourceVector,
 )
-from repro.core.allocation import AllocationError, MultiDomainAllocator
+from repro.core.allocation import (
+    AllocationError,
+    EndToEndAllocation,
+    MultiDomainAllocator,
+)
 from repro.core.events import EventLog
+from repro.drivers.adapters import build_default_registry
+from repro.drivers.base import (
+    DomainSpec,
+    DriverAbsentError,
+    DriverError,
+    Reservation,
+)
+from repro.drivers.registry import DriverRegistry
+from repro.drivers.transaction import InstallTransaction, TransactionError
 from repro.core.forecasting import Forecaster, ForecastError, HoltWintersForecaster
 from repro.core.overbooking import (
     AdaptiveOverbooking,
@@ -120,6 +143,7 @@ class SliceRuntime:
     ues: List[UserEquipment] = field(default_factory=list)
     last_demand_mbps: float = 0.0
     last_delivered_mbps: float = 0.0
+    reservations: Dict[str, Reservation] = field(default_factory=dict)
 
 
 class Orchestrator:
@@ -135,9 +159,14 @@ class Orchestrator:
         forecaster_factory: Optional[Callable[[], Forecaster]] = None,
         config: Optional[OrchestratorConfig] = None,
         streams: Optional[RandomStreams] = None,
+        registry: Optional[DriverRegistry] = None,
     ) -> None:
         self.sim = sim
         self.allocator = allocator
+        # Southbound: every lifecycle operation goes through the driver
+        # registry; the default wires adapters over the allocator's
+        # controllers (RAN → transport → cloud → EPC, in install order).
+        self.registry = registry or build_default_registry(allocator)
         self.plmn_pool = plmn_pool or PlmnPool(size=12)
         self.admission = admission or FcfsPolicy()
         self.overbooking = overbooking or NoOverbooking()
@@ -162,6 +191,9 @@ class Orchestrator:
         self.calendar = ResourceCalendar(allocator.aggregate_capacity_vector())
         self._runtimes: Dict[str, SliceRuntime] = {}
         self._all_slices: Dict[str, NetworkSlice] = {}
+        self._pending_advance: Dict[str, float] = {}  # request_id -> start_time
+        # slice_id -> (slice, domains whose backend refused to release)
+        self._stuck_releases: Dict[str, Tuple[NetworkSlice, List[str]]] = {}
         self._epoch_counter = 0
         self._monitor_process = PeriodicProcess(
             sim,
@@ -258,7 +290,11 @@ class Orchestrator:
                 )
             self.calendar.commit(request.request_id, start_time, end_time, shrunk)
 
+        self._pending_advance[request.request_id] = start_time
+
         def install() -> None:
+            if self._pending_advance.pop(request.request_id, None) is None:
+                return  # booking was cancelled before its start time
             decision = self.install_admitted(request, profile)
             if not decision.admitted and self.calendar.has(request.request_id):
                 self.calendar.release(request.request_id)
@@ -269,6 +305,33 @@ class Orchestrator:
             admitted=True,
             reason=f"booked for t={start_time:.0f}s",
             expected_value=request.price,
+        )
+
+    def advance_start_time(self, request_id: str) -> Optional[float]:
+        """Start time of a still-pending advance booking (None otherwise)."""
+        return self._pending_advance.get(request_id)
+
+    def cancel_advance(self, request_id: str, tenant_id: Optional[str] = None) -> None:
+        """Withdraw an advance booking before its start time.
+
+        Frees the calendar window immediately; the already-scheduled
+        install event fires harmlessly (it checks the pending record).
+
+        Raises:
+            OrchestratorError: If no such booking is pending (unknown
+                id, or its install already fired).
+        """
+        start_time = self._pending_advance.pop(request_id, None)
+        if start_time is None:
+            raise OrchestratorError(f"no pending advance booking {request_id}")
+        if self.calendar.has(request_id):
+            self.calendar.release(request_id)
+        self.events.emit(
+            self.sim.now,
+            "booking.cancelled",
+            tenant_id=tenant_id,
+            booking_id=request_id,
+            start_time=start_time,
         )
 
     def reject(self, request: SliceRequest, reason: str) -> AdmissionDecision:
@@ -324,8 +387,8 @@ class Orchestrator:
             )
         network_slice.plmn = plmn
         try:
-            self.allocator.allocate(network_slice, effective_fraction=fraction)
-        except AllocationError as exc:
+            reservations = self._install_via_drivers(network_slice, fraction)
+        except TransactionError as exc:
             self.plmn_pool.release(network_slice.slice_id)
             network_slice.plmn = None
             network_slice.transition(SliceState.REJECTED, self.sim.now)
@@ -365,7 +428,13 @@ class Orchestrator:
             network_slice=network_slice,
             profile=profile,
             effective_fraction=fraction,
+            reservations=reservations,
         )
+        # Contract-clean EPC binding: whatever backend serves the "epc"
+        # domain reports its instance (if any) in the reservation.
+        epc_reservation = reservations.get("epc")
+        if epc_reservation is not None:
+            runtime.epc = epc_reservation.details.get("instance")
         self._runtimes[network_slice.slice_id] = runtime
         network_slice.transition(SliceState.DEPLOYING, self.sim.now)
         self.sim.schedule(
@@ -380,6 +449,363 @@ class Orchestrator:
             expected_value=request.price,
             slice_id=network_slice.slice_id,
         )
+
+    # ------------------------------------------------------------------
+    # Southbound driver plumbing
+    # ------------------------------------------------------------------
+    def _emit_rollback(self, domain: str, reservation: Reservation, reason: str) -> None:
+        """Surface a rolled-back domain on the northbound event feed."""
+        self.events.emit(
+            self.sim.now,
+            "driver.rollback",
+            slice_id=reservation.slice_id,
+            tenant_id=reservation.spec.tenant_id,
+            domain=domain,
+            reason=reason,
+        )
+
+    #: Domains whose spec depends on the candidate datacenter; they are
+    #: (re-)prepared inside the per-candidate loop, everything before
+    #: them is prepared once.
+    _DC_DEPENDENT_DOMAINS = ("transport", "cloud", "epc")
+
+    def _install_specs(
+        self,
+        network_slice: NetworkSlice,
+        fraction: float,
+        enb_id: str,
+        enb_node: str,
+        dc=None,
+        demand=None,
+        domains: Optional[List[str]] = None,
+    ) -> Dict[str, DomainSpec]:
+        """One :class:`DomainSpec` per domain (default: every registered
+        one) for one install attempt, pinned to the probed cell and,
+        when given, one candidate DC — DC-dependent attributes stay
+        empty otherwise."""
+        request = network_slice.request
+        if demand is None:
+            demand = self.allocator.demand_vector(request)
+        if domains is None:
+            domains = self.registry.domains()
+        common = dict(
+            slice_id=network_slice.slice_id,
+            tenant_id=request.tenant_id,
+            throughput_mbps=request.sla.throughput_mbps,
+            max_latency_ms=request.sla.max_latency_ms,
+            duration_s=request.sla.duration_s,
+            effective_fraction=fraction,
+            vcpus=demand.vcpus,
+        )
+        plmn = network_slice.plmn
+        known = {
+            "ran": {"plmn": plmn, "enb_id": enb_id},
+            "epc": {"plmn_id": plmn.plmn_id if plmn else None},
+        }
+        if dc is not None:
+            known["transport"] = {
+                "src": enb_node,
+                "dst": dc.gateway_node,
+                "max_delay_ms": self.allocator.transport_budget_ms(request, dc),
+                "plmn_id": plmn.plmn_id if plmn else None,
+            }
+            known["cloud"] = {"dc_id": dc.dc_id}
+        return {
+            domain: DomainSpec(attributes=known.get(domain, {}), **common)
+            for domain in domains
+        }
+
+    def _validate_latency(
+        self, network_slice: NetworkSlice, reservations: Dict[str, Reservation]
+    ) -> None:
+        """Never commit a latency-violating end-to-end allocation."""
+        allocation = self._compose_allocation(reservations)
+        if allocation is None:
+            return
+        bound = network_slice.request.sla.max_latency_ms
+        if allocation.total_latency_ms > bound + 1e-9:
+            raise DriverError(
+                "orchestrator",
+                f"allocation latency {allocation.total_latency_ms:.2f} ms "
+                f"exceeds SLA {bound:.2f} ms",
+            )
+
+    @staticmethod
+    def _compose_allocation(
+        reservations: Dict[str, Reservation]
+    ) -> Optional[EndToEndAllocation]:
+        """The legacy end-to-end view, when all three data-plane domains
+        participated (custom registries may omit some)."""
+        try:
+            return EndToEndAllocation(
+                ran=reservations["ran"].details["allocation"],
+                transport=reservations["transport"].details["allocation"],
+                cloud=reservations["cloud"].details["allocation"],
+            )
+        except KeyError:
+            return None
+
+    def _install_via_drivers(
+        self, network_slice: NetworkSlice, fraction: float
+    ) -> Dict[str, Reservation]:
+        """Two-phase install across every registered domain.
+
+        The ingress cell is probed first (it pins the transport source
+        node).  Domains whose spec is independent of the datacenter
+        choice — RAN and any extra domains registered before transport —
+        are prepared exactly *once*; the DC-dependent tail (transport,
+        cloud, EPC, later extras) then runs one prepare→validate→commit
+        transaction per candidate DC.  A failed attempt unwinds its own
+        segment (rollback events land on the feed) before the next
+        candidate is tried; if every candidate fails, the prefix is
+        rolled back too — nothing is left reserved anywhere.
+
+        Raises:
+            TransactionError: When no candidate DC yields a committed
+                end-to-end install.
+        """
+        request = network_slice.request
+        slice_id = network_slice.slice_id
+        try:
+            demand = self.allocator.demand_vector(request)
+        except AllocationError as exc:
+            # Planning failure (e.g. an empty RAN fleet) books a
+            # rejection like any other install failure.
+            raise TransactionError(exc.domain, exc.message) from exc
+        effective_prbs = max(1, round(demand.prbs * fraction))
+        enb_id = self.allocator.ran.best_enb_for(
+            request.sla.throughput_mbps, effective_prbs
+        )
+        if enb_id is None:
+            raise TransactionError(
+                "ran", f"no eNB can host {effective_prbs} PRBs for slice {slice_id}"
+            )
+        enb_node = self.allocator.ran.enb(enb_id).transport_node
+        candidates = self.allocator.candidate_datacenters(request, enb_node)
+        if not candidates:
+            raise TransactionError(
+                "cloud", f"no datacenter satisfies compute + latency for {slice_id}"
+            )
+        domains = self.registry.domains()
+        split = 0
+        while split < len(domains) and domains[split] not in self._DC_DEPENDENT_DOMAINS:
+            split += 1
+        prefix_domains, suffix_domains = domains[:split], domains[split:]
+        # Rollback events buffer until the install's fate is known: a
+        # retried-then-successful install must not put driver.rollback
+        # noise on the feed (consumers treat it as an install failure).
+        deferred_rollbacks: List[Tuple[str, Reservation, str]] = []
+
+        def buffer_rollback(domain: str, reservation: Reservation, reason: str) -> None:
+            deferred_rollbacks.append((domain, reservation, reason))
+
+        def flush_rollbacks() -> None:
+            for domain, reservation, reason in deferred_rollbacks:
+                self._emit_rollback(domain, reservation, reason)
+
+        unwinder = InstallTransaction(self.registry, on_rollback=buffer_rollback)
+        # --- Prepare the DC-independent prefix once -------------------
+        prefix_specs = self._install_specs(
+            network_slice, fraction, enb_id, enb_node, demand=demand,
+            domains=prefix_domains,
+        )
+        try:
+            prefix_prepared = unwinder.prepare_domains(prefix_domains, prefix_specs)
+        except TransactionError:
+            flush_rollbacks()
+            raise
+        prefix_reservations = {r.domain: r for _, r in prefix_prepared}
+        # --- Try each candidate DC over the dependent tail ------------
+        sub_registry = DriverRegistry([self.registry.get(d) for d in suffix_domains])
+        transaction = InstallTransaction(sub_registry, on_rollback=buffer_rollback)
+        last_error: Optional[TransactionError] = None
+        for dc in candidates:
+            sub_specs = self._install_specs(
+                network_slice, fraction, enb_id, enb_node, dc, demand=demand,
+                domains=suffix_domains,
+            )
+            try:
+                suffix_reservations = transaction.run(
+                    sub_specs,
+                    validate=lambda res: self._validate_latency(
+                        network_slice, {**prefix_reservations, **res}
+                    ),
+                )
+            except TransactionError as exc:
+                last_error = exc
+                continue
+            try:
+                for driver, reservation in prefix_prepared:
+                    driver.commit(reservation)
+            except Exception as exc:  # any failure must unwind
+                suffix_pairs = [
+                    (sub_registry.get(d), suffix_reservations[d])
+                    for d in suffix_domains
+                ]
+                # Install order was prefix-then-suffix; unwind reverses it.
+                unwinder.unwind(prefix_prepared + suffix_pairs, str(exc))
+                flush_rollbacks()
+                raise TransactionError(
+                    getattr(exc, "domain", "orchestrator"),
+                    getattr(exc, "message", str(exc)),
+                ) from exc
+            reservations = {**prefix_reservations, **suffix_reservations}
+            network_slice.allocation = self._compose_allocation(reservations)
+            return reservations
+        unwinder.unwind(prefix_prepared, str(last_error))
+        flush_rollbacks()
+        assert last_error is not None
+        raise last_error
+
+    def _release_domains(self, network_slice: NetworkSlice) -> List[str]:
+        """Free the slice in every domain, newest-registered first.
+
+        Domains holding nothing are skipped silently (idempotent-ish);
+        a *real* backend release failure is surfaced on the metrics and
+        the event feed — the driver keeps the reservation COMMITTED, the
+        failing domains are returned, and the monitoring loop retries
+        them every epoch until the capacity is actually freed.
+        """
+        slice_id = network_slice.slice_id
+        failed: List[str] = []
+        for driver in reversed(self.registry.drivers()):
+            try:
+                driver.release(slice_id)
+            except DriverAbsentError:
+                continue
+            except DriverError as exc:
+                failed.append(driver.domain)
+                self.metrics.record(
+                    self.sim.now, "driver.release_failed", 1.0, label=slice_id
+                )
+                self.events.emit(
+                    self.sim.now,
+                    "driver.release_failed",
+                    slice_id=slice_id,
+                    tenant_id=network_slice.request.tenant_id,
+                    domain=driver.domain,
+                    reason=str(exc),
+                )
+                continue
+        network_slice.allocation = None
+        return failed
+
+    def _teardown_slice(self, network_slice: NetworkSlice) -> None:
+        """Release every domain; free the PLMN only once all succeed.
+
+        A stuck backend release keeps the PLMN out of the pool — handing
+        it to a new slice while the old backend still serves under it
+        would put two slices on one PLMN.  The stuck domains are retried
+        each monitoring epoch.
+        """
+        slice_id = network_slice.slice_id
+        failed = self._release_domains(network_slice)
+        if failed:
+            self._stuck_releases[slice_id] = (network_slice, failed)
+        else:
+            self.plmn_pool.release(slice_id)
+
+    def _retry_stuck_releases(self) -> None:
+        """Monitoring-epoch sweep over releases a backend refused."""
+        for slice_id in list(self._stuck_releases):
+            network_slice, domains = self._stuck_releases[slice_id]
+            remaining: List[str] = []
+            for domain in domains:
+                if domain not in self.registry:
+                    continue  # driver unregistered — nothing left to free
+                try:
+                    self.registry.get(domain).release(slice_id)
+                except DriverAbsentError:
+                    continue  # freed out-of-band
+                except DriverError:
+                    remaining.append(domain)
+            if remaining:
+                self._stuck_releases[slice_id] = (network_slice, remaining)
+                continue
+            del self._stuck_releases[slice_id]
+            self.plmn_pool.release(slice_id)
+            self.events.emit(
+                self.sim.now,
+                "driver.release_recovered",
+                slice_id=slice_id,
+                tenant_id=network_slice.request.tenant_id,
+                domains=list(domains),
+            )
+
+    def _resize_domains(
+        self,
+        runtime: SliceRuntime,
+        new_throughput_mbps: float,
+        new_fraction: float,
+    ) -> None:
+        """Re-dimension the slice in every resize-capable domain.
+
+        Applied in registry order with compensation: a failing domain
+        rolls the already-resized ones back to their previous spec, so
+        the domains never disagree about the slice's size.
+
+        Raises:
+            DriverError: When some domain cannot fit the new size (after
+                compensation).
+        """
+        network_slice = runtime.network_slice
+        slice_id = network_slice.slice_id
+        if not 0.0 < new_fraction <= 1.0:
+            raise DriverError(
+                "orchestrator",
+                f"effective fraction must be in (0, 1], got {new_fraction}",
+            )
+        if new_throughput_mbps <= 0:
+            raise DriverError(
+                "orchestrator",
+                f"throughput must be positive, got {new_throughput_mbps}",
+            )
+        resized = []  # [(driver, previous spec)] for compensation
+        for driver in self.registry.drivers():
+            if not driver.capabilities().supports_resize:
+                continue
+            reservation = driver.reservation_of(slice_id)
+            if reservation is None:
+                continue
+            old_spec = reservation.spec
+            new_spec = DomainSpec(
+                slice_id=slice_id,
+                tenant_id=network_slice.request.tenant_id,
+                throughput_mbps=new_throughput_mbps,
+                max_latency_ms=network_slice.request.sla.max_latency_ms,
+                duration_s=network_slice.request.sla.duration_s,
+                effective_fraction=new_fraction,
+                vcpus=old_spec.vcpus,
+                attributes=dict(old_spec.attributes),
+            )
+            try:
+                driver.resize(slice_id, new_spec)
+                resized.append((driver, old_spec))
+            except DriverError:
+                # Compensate: restore the previous size everywhere.
+                for done, prev_spec in reversed(resized):
+                    try:
+                        done.resize(slice_id, prev_spec)
+                    except DriverError:  # pragma: no cover - best effort
+                        continue
+                raise
+        if not resized:
+            # No domain actually re-dimensioned anything — succeeding
+            # here would rewrite the SLA/calendar with no backing change
+            # (the legacy allocator raised in this situation too).
+            raise DriverError(
+                "orchestrator", f"slice {slice_id} is not allocated"
+            )
+        # Refresh the composed end-to-end view from the live reservations.
+        reservations = {}
+        for driver in self.registry.drivers():
+            reservation = driver.reservation_of(slice_id)
+            if reservation is not None:
+                reservations[driver.domain] = reservation
+        runtime.reservations = reservations
+        composed = self._compose_allocation(reservations)
+        if composed is not None:
+            network_slice.allocation = composed
 
     def _activate(self, slice_id: str) -> None:
         runtime = self._runtimes.get(slice_id)
@@ -408,10 +834,18 @@ class Orchestrator:
         """Create the slice's vEPC binding + UE population and attach them."""
         network_slice = runtime.network_slice
         slice_id = network_slice.slice_id
-        stack = self.allocator.cloud.stack_of(slice_id)
-        if stack is None or network_slice.plmn is None or network_slice.allocation is None:
+        if network_slice.plmn is None or network_slice.allocation is None:
             return
-        runtime.epc = EpcInstance(slice_id, network_slice.plmn.plmn_id, stack)
+        if runtime.epc is None:
+            if "epc" in runtime.reservations:
+                # An EPC domain owns the core but exposed no instance
+                # (custom backend) — never bind a duplicate inline.
+                return
+            # No EPC domain in the registry — bind the instance inline.
+            stack = self.allocator.cloud.stack_of(slice_id)
+            if stack is None:
+                return
+            runtime.epc = EpcInstance(slice_id, network_slice.plmn.plmn_id, stack)
         enb = self.allocator.ran.enb(network_slice.allocation.ran.enb_id)
         rng = self.streams.stream(f"ues-{slice_id}")
         n_ues = min(network_slice.request.n_users, self.config.max_ues_per_slice)
@@ -475,8 +909,7 @@ class Orchestrator:
             raise OrchestratorError(f"slice {slice_id} is not pending activation")
         self._runtimes.pop(slice_id)
         network_slice = runtime.network_slice
-        self.allocator.release(network_slice)
-        self.plmn_pool.release(slice_id)
+        self._teardown_slice(network_slice)
         if self.calendar.has(network_slice.request.request_id):
             self.calendar.release(network_slice.request.request_id)
         amount = 0.0
@@ -500,13 +933,13 @@ class Orchestrator:
         network_slice = runtime.network_slice
         if network_slice.state is not SliceState.ACTIVE:
             return
-        if runtime.epc is not None:
-            runtime.epc.shutdown()
         for ue in runtime.ues:
             if ue.attached:
                 ue.detach()
-        self.allocator.release(network_slice)
-        self.plmn_pool.release(slice_id)
+        self._teardown_slice(network_slice)
+        if runtime.epc is not None and runtime.epc.running:
+            # Inline-bound instance (no EPC driver released it above).
+            runtime.epc.shutdown()
         if self.calendar.has(network_slice.request.request_id):
             self.calendar.release(network_slice.request.request_id)
         network_slice.transition(SliceState.EXPIRED, self.sim.now)
@@ -584,10 +1017,10 @@ class Orchestrator:
             )
         network_slice = runtime.network_slice
         try:
-            self.allocator.modify_throughput(
-                network_slice, new_throughput_mbps, runtime.effective_fraction
+            self._resize_domains(
+                runtime, new_throughput_mbps, runtime.effective_fraction
             )
-        except AllocationError as exc:
+        except DriverError as exc:
             return AdmissionDecision(
                 request_id=slice_id, admitted=False, reason=str(exc)
             )
@@ -622,6 +1055,8 @@ class Orchestrator:
     def _monitoring_epoch(self) -> None:
         self._epoch_counter += 1
         now = self.sim.now
+        if self._stuck_releases:
+            self._retry_stuck_releases()
         active = {
             sid: rt
             for sid, rt in self._runtimes.items()
@@ -674,38 +1109,56 @@ class Orchestrator:
             self._reconfigure(active)
 
     def _heal_paths(self, active: Dict[str, SliceRuntime]) -> None:
-        """Attempt transport re-routing for slices on failed links."""
-        from repro.transport.controller import TransportError
-
-        transport = self.allocator.transport
+        """Attempt re-routing, via any repair-capable driver (transport
+        in the default wiring), for slices whose domain reports ill."""
+        healers = [
+            d for d in self.registry.drivers() if d.capabilities().supports_repair
+        ]
+        if not healers:
+            return
         for slice_id, runtime in active.items():
             allocation = runtime.network_slice.allocation
-            if allocation is None or transport.allocation_of(slice_id) is None:
+            if allocation is None:
                 continue
-            try:
-                if transport.path_healthy(slice_id):
+            for driver in healers:
+                try:
+                    healthy = driver.health(slice_id).get("healthy", True)
+                except DriverAbsentError:
+                    continue  # slice not installed in this domain — benign
+                except DriverError:
+                    # A real health-check failure must not pass silently.
+                    self.metrics.record(
+                        self.sim.now, "slice.repair_failed", 1.0, label=slice_id
+                    )
                     continue
-                new_transport = transport.repair_path(slice_id)
-            except TransportError:
-                # No feasible detour right now; the slice will violate
-                # its SLA until a link recovers — exactly the penalty
-                # the overbooking ledger accounts for.
-                self.metrics.record(self.sim.now, "slice.repair_failed", 1.0, label=slice_id)
-                continue
-            from repro.core.allocation import EndToEndAllocation
-
-            runtime.network_slice.allocation = EndToEndAllocation(
-                ran=allocation.ran,
-                transport=new_transport,
-                cloud=allocation.cloud,
-            )
-            self.metrics.record(self.sim.now, "slice.path_repaired", 1.0, label=slice_id)
-            self.events.emit(
-                self.sim.now,
-                "slice.path_repaired",
-                slice_id=slice_id,
-                tenant_id=runtime.network_slice.request.tenant_id,
-            )
+                if healthy:
+                    continue
+                try:
+                    repaired = driver.repair(slice_id)
+                except DriverError:
+                    # No feasible detour right now; the slice will violate
+                    # its SLA until a link recovers — exactly the penalty
+                    # the overbooking ledger accounts for.
+                    self.metrics.record(
+                        self.sim.now, "slice.repair_failed", 1.0, label=slice_id
+                    )
+                    continue
+                new_transport = repaired.details.get("allocation")
+                if driver.domain == "transport" and new_transport is not None:
+                    runtime.network_slice.allocation = EndToEndAllocation(
+                        ran=allocation.ran,
+                        transport=new_transport,
+                        cloud=allocation.cloud,
+                    )
+                self.metrics.record(
+                    self.sim.now, "slice.path_repaired", 1.0, label=slice_id
+                )
+                self.events.emit(
+                    self.sim.now,
+                    "slice.path_repaired",
+                    slice_id=slice_id,
+                    tenant_id=runtime.network_slice.request.tenant_id,
+                )
 
     def _transport_cap_mbps(self, runtime: SliceRuntime, demand: float) -> float:
         """Throughput ceiling the transport path imposes this epoch.
@@ -759,7 +1212,11 @@ class Orchestrator:
                 continue
             try:
                 old_fraction = runtime.effective_fraction
-                self.allocator.resize(runtime.network_slice, new_fraction)
+                self._resize_domains(
+                    runtime,
+                    runtime.network_slice.request.sla.throughput_mbps,
+                    new_fraction,
+                )
                 runtime.effective_fraction = new_fraction
                 self.metrics.record(
                     self.sim.now, "slice.effective_fraction", new_fraction, label=slice_id
@@ -779,7 +1236,7 @@ class Orchestrator:
                     self.calendar.update_demand(
                         request.request_id, self.shrunk_demand(request, new_fraction)
                     )
-            except AllocationError:
+            except DriverError:
                 # Growing back may not fit if newcomers took the space —
                 # the overbooking risk surfaces as SLA violations instead.
                 continue
@@ -806,6 +1263,15 @@ class Orchestrator:
             if rt.network_slice.state is SliceState.ACTIVE
         ]
 
+    def live_slices(self) -> List[NetworkSlice]:
+        """Slices currently holding resources (ADMITTED/DEPLOYING/ACTIVE) —
+        O(live), unlike :meth:`all_slices` which scans history."""
+        return [rt.network_slice for rt in self._runtimes.values()]
+
+    def has_slice(self, slice_id: str) -> bool:
+        """Whether a slice record (any state) exists — O(1)."""
+        return slice_id in self._all_slices
+
     def runtime(self, slice_id: str) -> Optional[SliceRuntime]:
         """Live runtime of an installed slice (None once expired)."""
         return self._runtimes.get(slice_id)
@@ -828,6 +1294,10 @@ class Orchestrator:
             "multiplexing_gain": self.gain_tracker.gain(
                 ran_util["nominal_reserved"], max(1, ran_util["total_prbs"])
             ),
+            "southbound": {
+                "domains": self.registry.domains(),
+                "capabilities": self.registry.capabilities(),
+            },
             "domains": {
                 "ran": ran_util,
                 "transport": {

@@ -216,6 +216,12 @@ class SliceRequest:
         return self.price / (self.sla.throughput_mbps * self.sla.duration_s)
 
 
+def slice_id_for(request_id: str) -> str:
+    """The slice id a request maps onto (single source of truth — the
+    northbound layer derives installed-ness from it too)."""
+    return request_id.replace("req-", "slice-")
+
+
 class SliceState(enum.Enum):
     """Lifecycle of a network slice inside the orchestrator."""
 
@@ -251,7 +257,7 @@ class NetworkSlice:
 
     def __init__(self, request: SliceRequest) -> None:
         self.request = request
-        self.slice_id = request.request_id.replace("req-", "slice-")
+        self.slice_id = slice_id_for(request.request_id)
         self.state = SliceState.PENDING
         self.plmn: Optional[PLMN] = None
         self.allocation = None  # EndToEndAllocation, set by the allocator
@@ -357,4 +363,5 @@ __all__ = [
     "SliceError",
     "SliceRequest",
     "SliceState",
+    "slice_id_for",
 ]

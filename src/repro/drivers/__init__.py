@@ -1,0 +1,57 @@
+"""Southbound domain-driver API.
+
+A uniform, transactional contract between the orchestrator and every
+domain backend:
+
+- :mod:`repro.drivers.base` — the :class:`DomainDriver` ABC, the typed
+  :class:`DomainSpec`/:class:`Reservation` dataclasses and the
+  reservation lifecycle state machine.
+- :mod:`repro.drivers.registry` — :class:`DriverRegistry`, the ordered
+  pluggable mapping of domain name → driver.
+- :mod:`repro.drivers.transaction` — :class:`InstallTransaction`, the
+  two-phase prepare/commit coordinator with automatic rollback.
+- :mod:`repro.drivers.adapters` — drivers wrapping the simulator's RAN,
+  transport, cloud and vEPC controllers (+ the default registry).
+- :mod:`repro.drivers.mock` — an in-memory backend used as the
+  conformance reference and for failure injection.
+"""
+
+from repro.drivers.base import (
+    BaseDriver,
+    DomainDriver,
+    DomainSpec,
+    DriverCapabilities,
+    DriverError,
+    Reservation,
+    ReservationState,
+)
+from repro.drivers.registry import DriverRegistry
+from repro.drivers.transaction import InstallTransaction, TransactionError
+from repro.drivers.adapters import (
+    CloudDriver,
+    EpcDriver,
+    RanDriver,
+    TransportDriver,
+    build_default_registry,
+)
+from repro.drivers.mock import MockDriver, NullDriver
+
+__all__ = [
+    "BaseDriver",
+    "CloudDriver",
+    "DomainDriver",
+    "DomainSpec",
+    "DriverCapabilities",
+    "DriverError",
+    "DriverRegistry",
+    "EpcDriver",
+    "InstallTransaction",
+    "MockDriver",
+    "NullDriver",
+    "RanDriver",
+    "Reservation",
+    "ReservationState",
+    "TransactionError",
+    "TransportDriver",
+    "build_default_registry",
+]

@@ -1,0 +1,486 @@
+"""Adapter drivers wrapping the simulator's domain controllers.
+
+Each adapter translates the uniform :class:`~repro.drivers.base.DomainDriver`
+contract onto one controller's native vocabulary:
+
+========== ============================ ===========================
+domain      prepare / rollback           native controller calls
+========== ============================ ===========================
+``ran``     install_slice / remove_slice :class:`~repro.ran.controller.RanController`
+``transport`` reserve_path / release_path :class:`~repro.transport.controller.TransportController`
+``cloud``   deploy / teardown            :class:`~repro.cloud.controller.CloudController`
+``epc``     bind instance / shutdown     :class:`~repro.epc.instance.EpcInstance`
+========== ============================ ===========================
+
+None of the controllers has native two-phase semantics, so ``prepare``
+performs the real reservation and ``rollback`` the compensating
+release (``capabilities().transactional`` is False); ``commit`` is a
+bookkeeping step.  :func:`build_default_registry` wires all four in
+install order — the registry any alternative backend (or an injected
+:class:`~repro.drivers.mock.MockDriver`) extends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.cloud.controller import CloudController
+from repro.cloud.datacenter import CloudError
+from repro.cloud.heat import HeatStack, StackState
+from repro.drivers.base import (
+    BaseDriver,
+    DomainSpec,
+    DriverCapabilities,
+    DriverError,
+    Reservation,
+    ReservationState,
+)
+from repro.drivers.registry import DriverRegistry
+from repro.epc.components import epc_template
+from repro.epc.instance import EpcError, EpcInstance
+from repro.ran.controller import RanController
+from repro.ran.enb import RanConfigError
+from repro.transport.controller import TransportController, TransportError
+from repro.transport.paths import PathRequest
+
+
+class RanDriver(BaseDriver):
+    """Radio domain: PRB reservations on a fleet of eNBs.
+
+    Spec attributes: ``plmn`` (required :class:`~repro.core.slices.PLMN`),
+    ``enb_id`` (optional pinned cell; auto-selected when absent).
+    """
+
+    domain = "ran"
+
+    def __init__(self, controller: RanController) -> None:
+        super().__init__()
+        self.controller = controller
+
+    def capabilities(self) -> DriverCapabilities:
+        return DriverCapabilities(
+            domain=self.domain,
+            resource_units=("prbs",),
+            supports_resize=True,
+        )
+
+    def feasible(self, spec: DomainSpec) -> bool:
+        enbs = self.controller.enbs()
+        if not enbs:
+            return False
+        nominal = enbs[0].prbs_for_throughput(spec.throughput_mbps)
+        effective = max(1, round(nominal * spec.effective_fraction))
+        return self.controller.best_enb_for(spec.throughput_mbps, effective) is not None
+
+    def _native_present(self, slice_id: str) -> bool:
+        return self.controller.serving_enb_of(slice_id) is not None
+
+    def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
+        plmn = spec.attributes.get("plmn")
+        if plmn is None:
+            raise DriverError(self.domain, f"slice {spec.slice_id} has no PLMN")
+        try:
+            allocation = self.controller.install_slice(
+                spec.slice_id,
+                plmn,
+                spec.throughput_mbps,
+                effective_fraction=spec.effective_fraction,
+                enb_id=spec.attributes.get("enb_id"),
+            )
+        except RanConfigError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+        return {
+            "allocation": allocation,
+            "enb_id": allocation.enb_id,
+            "enb_node": self.controller.enb(allocation.enb_id).transport_node,
+            "latency_ms": allocation.latency_ms,
+        }
+
+    def _do_rollback(self, reservation: Reservation) -> None:
+        try:
+            self.controller.remove_slice(reservation.slice_id)
+        except RanConfigError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+
+    def _do_release(self, slice_id: str) -> None:
+        try:
+            self.controller.remove_slice(slice_id)
+        except RanConfigError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+
+    def _do_resize(self, slice_id: str, spec: DomainSpec,
+                   reservation: Optional[Reservation]) -> Dict[str, Any]:
+        current = reservation.details.get("allocation") if reservation else None
+        try:
+            if (
+                current is not None
+                and spec.throughput_mbps == reservation.spec.throughput_mbps
+            ):
+                # Overbooking knob only: move the effective commitment
+                # under the unchanged nominal (old allocator.resize path).
+                from repro.ran.controller import RanAllocation
+
+                new_prbs = max(1, round(current.nominal_prbs * spec.effective_fraction))
+                self.controller.resize_slice(slice_id, new_prbs)
+                allocation = RanAllocation(
+                    enb_id=current.enb_id,
+                    nominal_prbs=current.nominal_prbs,
+                    effective_prbs=new_prbs,
+                    latency_ms=current.latency_ms,
+                )
+            else:
+                # Tenant-requested scaling: re-nominate.
+                allocation = self.controller.modify_slice(
+                    slice_id, spec.throughput_mbps, spec.effective_fraction
+                )
+        except RuntimeError as exc:  # RanConfigError or PrbError
+            if isinstance(exc, DriverError):
+                raise
+            raise DriverError(self.domain, str(exc)) from exc
+        return {"allocation": allocation, "enb_id": allocation.enb_id}
+
+    def _do_health(self, slice_id: str) -> Dict[str, Any]:
+        enb_id = self.controller.serving_enb_of(slice_id)
+        return {
+            "domain": self.domain,
+            "slice_id": slice_id,
+            "healthy": enb_id is not None,
+            "enb_id": enb_id,
+        }
+
+    def utilization(self) -> dict:
+        return self.controller.utilization()
+
+
+class TransportDriver(BaseDriver):
+    """Transport domain: constrained paths + flow programming.
+
+    Spec attributes: ``src``/``dst`` (required node names),
+    ``max_delay_ms`` (required path-delay budget), ``plmn_id``
+    (required for flow programming).
+    """
+
+    domain = "transport"
+
+    def __init__(self, controller: TransportController) -> None:
+        super().__init__()
+        self.controller = controller
+
+    def capabilities(self) -> DriverCapabilities:
+        return DriverCapabilities(
+            domain=self.domain,
+            resource_units=("mbps",),
+            supports_resize=True,
+            supports_repair=True,
+        )
+
+    def _path_request(self, spec: DomainSpec) -> PathRequest:
+        try:
+            return PathRequest(
+                src=spec.attributes["src"],
+                dst=spec.attributes["dst"],
+                min_bandwidth_mbps=spec.throughput_mbps,
+                max_delay_ms=spec.attributes["max_delay_ms"],
+            )
+        except KeyError as exc:
+            raise DriverError(
+                self.domain, f"spec missing transport attribute {exc}"
+            ) from None
+
+    def feasible(self, spec: DomainSpec) -> bool:
+        try:
+            request = self._path_request(spec)
+        except DriverError:
+            return False
+        return self.controller.feasible(request)
+
+    def _native_present(self, slice_id: str) -> bool:
+        return self.controller.allocation_of(slice_id) is not None
+
+    def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
+        request = self._path_request(spec)
+        plmn_id = spec.attributes.get("plmn_id")
+        if plmn_id is None:
+            raise DriverError(self.domain, f"slice {spec.slice_id} has no PLMN")
+        try:
+            allocation = self.controller.reserve_path(
+                spec.slice_id,
+                plmn_id,
+                request,
+                effective_fraction=spec.effective_fraction,
+            )
+        except TransportError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+        return {
+            "allocation": allocation,
+            "delay_ms": allocation.delay_ms,
+            "link_ids": list(allocation.path.link_ids),
+        }
+
+    def _do_rollback(self, reservation: Reservation) -> None:
+        try:
+            self.controller.release_path(reservation.slice_id)
+        except TransportError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+
+    def _do_release(self, slice_id: str) -> None:
+        try:
+            self.controller.release_path(slice_id)
+        except TransportError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+
+    def _do_resize(self, slice_id: str, spec: DomainSpec,
+                   reservation: Optional[Reservation]) -> Dict[str, Any]:
+        try:
+            if (
+                reservation is not None
+                and spec.throughput_mbps == reservation.spec.throughput_mbps
+            ):
+                # Overbooking knob only (old allocator.resize path).
+                self.controller.resize_path(
+                    slice_id, spec.throughput_mbps * spec.effective_fraction
+                )
+                allocation = self.controller.allocation_of(slice_id)
+            else:
+                allocation = self.controller.modify_bandwidth(
+                    slice_id, spec.throughput_mbps, spec.effective_fraction
+                )
+        except RuntimeError as exc:  # TransportError or LinkError
+            if isinstance(exc, DriverError):
+                raise
+            raise DriverError(self.domain, str(exc)) from exc
+        return {
+            "allocation": allocation,
+            "delay_ms": allocation.delay_ms,
+            "link_ids": list(allocation.path.link_ids),
+        }
+
+    def _do_health(self, slice_id: str) -> Dict[str, Any]:
+        try:
+            healthy = self.controller.path_healthy(slice_id)
+        except TransportError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+        return {"domain": self.domain, "slice_id": slice_id, "healthy": healthy}
+
+    def repair(self, slice_id: str) -> Reservation:
+        try:
+            allocation = self.controller.repair_path(slice_id)
+        except TransportError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+        reservation = self.reservation_of(slice_id)
+        details = {
+            "allocation": allocation,
+            "delay_ms": allocation.delay_ms,
+            "link_ids": list(allocation.path.link_ids),
+        }
+        if reservation is not None:
+            reservation.details.update(details)
+            return reservation
+        # Legacy (out-of-band) install: the controller already holds the
+        # repaired reservation at its real nominal/effective split, so
+        # only a tracking record is synthesized — no backend mutation
+        # (a resize here would inflate an overbooked slice to nominal).
+        fraction = (
+            allocation.effective_mbps / allocation.nominal_mbps
+            if allocation.nominal_mbps > 0
+            else 1.0
+        )
+        reservation = Reservation(
+            reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
+            domain=self.domain,
+            slice_id=slice_id,
+            spec=DomainSpec(
+                slice_id=slice_id,
+                throughput_mbps=allocation.nominal_mbps,
+                effective_fraction=fraction,
+            ),
+            state=ReservationState.COMMITTED,
+            details=details,
+        )
+        self._reservations[slice_id] = reservation
+        return reservation
+
+    def utilization(self) -> dict:
+        return self.controller.utilization()
+
+
+class CloudDriver(BaseDriver):
+    """Cloud domain: per-slice Heat stacks in edge/core datacenters.
+
+    Spec attributes: ``dc_id`` (required target datacenter),
+    ``template`` (optional :class:`~repro.cloud.heat.HeatTemplate`;
+    defaults to the standard vEPC template for the slice).
+    """
+
+    domain = "cloud"
+
+    def __init__(self, controller: CloudController) -> None:
+        super().__init__()
+        self.controller = controller
+
+    def capabilities(self) -> DriverCapabilities:
+        return DriverCapabilities(domain=self.domain, resource_units=("vcpus",))
+
+    def feasible(self, spec: DomainSpec) -> bool:
+        template = spec.attributes.get("template") or epc_template(spec.slice_id)
+        dc_id = spec.attributes.get("dc_id")
+        if dc_id is not None:
+            try:
+                return self.controller.datacenter(dc_id).can_host_flavors(
+                    template.flavors()
+                )
+            except CloudError:
+                return False
+        return bool(self.controller.feasible_dcs(template))
+
+    def _native_present(self, slice_id: str) -> bool:
+        return self.controller.stack_of(slice_id) is not None
+
+    def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
+        dc_id = spec.attributes.get("dc_id")
+        if dc_id is None:
+            raise DriverError(self.domain, f"spec missing cloud attribute 'dc_id'")
+        template = spec.attributes.get("template") or epc_template(spec.slice_id)
+        try:
+            allocation = self.controller.deploy(spec.slice_id, template, dc_id)
+        except CloudError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+        return {
+            "allocation": allocation,
+            "dc_id": allocation.dc_id,
+            "stack_id": allocation.stack_id,
+            "processing_delay_ms": allocation.processing_delay_ms,
+        }
+
+    def _do_rollback(self, reservation: Reservation) -> None:
+        try:
+            self.controller.teardown(reservation.slice_id)
+        except CloudError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+
+    def _do_release(self, slice_id: str) -> None:
+        try:
+            self.controller.teardown(slice_id)
+        except CloudError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+
+    def _do_health(self, slice_id: str) -> Dict[str, Any]:
+        stack = self.controller.stack_of(slice_id)
+        healthy = stack is not None and stack.state is StackState.CREATE_COMPLETE
+        return {
+            "domain": self.domain,
+            "slice_id": slice_id,
+            "healthy": healthy,
+            "stack_state": stack.state.value if stack is not None else None,
+        }
+
+    def utilization(self) -> dict:
+        return self.controller.utilization()
+
+
+class EpcDriver(BaseDriver):
+    """vEPC domain: binds an :class:`EpcInstance` to the slice's stack.
+
+    The instance manager used to live inline in the orchestrator's UE
+    path; as a driver it participates in the install transaction (a
+    slice whose core cannot bind is rolled back like any other domain).
+
+    Spec attributes: ``plmn_id`` (required).  The hosting stack is
+    resolved through ``stack_lookup`` (the cloud controller's
+    ``stack_of`` in the default wiring), so the EPC domain must be
+    registered *after* the cloud domain.
+    """
+
+    domain = "epc"
+
+    def __init__(self, stack_lookup: Callable[[str], Optional[HeatStack]]) -> None:
+        super().__init__()
+        self.stack_lookup = stack_lookup
+        self._instances: Dict[str, EpcInstance] = {}
+
+    def capabilities(self) -> DriverCapabilities:
+        return DriverCapabilities(domain=self.domain)
+
+    def feasible(self, spec: DomainSpec) -> bool:
+        return spec.attributes.get("plmn_id") is not None
+
+    def instance_of(self, slice_id: str) -> Optional[EpcInstance]:
+        """The slice's live vEPC instance (None if absent)."""
+        return self._instances.get(slice_id)
+
+    def _native_present(self, slice_id: str) -> bool:
+        return slice_id in self._instances
+
+    def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
+        plmn_id = spec.attributes.get("plmn_id")
+        if plmn_id is None:
+            raise DriverError(self.domain, f"slice {spec.slice_id} has no PLMN")
+        stack = self.stack_lookup(spec.slice_id)
+        if stack is None:
+            raise DriverError(
+                self.domain, f"slice {spec.slice_id} has no cloud stack to bind"
+            )
+        try:
+            instance = EpcInstance(spec.slice_id, plmn_id, stack)
+        except EpcError as exc:
+            raise DriverError(self.domain, str(exc)) from exc
+        self._instances[spec.slice_id] = instance
+        return {"instance": instance, "plmn_id": plmn_id}
+
+    def _do_rollback(self, reservation: Reservation) -> None:
+        instance = self._instances.pop(reservation.slice_id, None)
+        if instance is not None:
+            instance.shutdown()
+
+    def _do_release(self, slice_id: str) -> None:
+        instance = self._instances.pop(slice_id, None)
+        if instance is None:
+            raise DriverError(self.domain, f"slice {slice_id} has no EPC instance")
+        instance.shutdown()
+
+    def _do_health(self, slice_id: str) -> Dict[str, Any]:
+        instance = self._instances.get(slice_id)
+        return {
+            "domain": self.domain,
+            "slice_id": slice_id,
+            "healthy": instance is not None and instance.running,
+            "active_sessions": instance.active_sessions if instance else 0,
+        }
+
+    def utilization(self) -> dict:
+        return {
+            "domain": self.domain,
+            "active_instances": len(self._instances),
+            "subscribers": sum(
+                i.subscriber_count for i in self._instances.values()
+            ),
+            "active_sessions": sum(
+                i.active_sessions for i in self._instances.values()
+            ),
+        }
+
+
+def build_default_registry(allocator: Any) -> DriverRegistry:
+    """The canonical four-domain registry over a wired testbed.
+
+    ``allocator`` is anything exposing ``ran``/``transport``/``cloud``
+    controllers (the :class:`~repro.core.allocation.MultiDomainAllocator`
+    in practice).  Registration order is install order: RAN pins the
+    ingress, transport reaches the DC, cloud hosts the stack, EPC binds
+    to it.
+    """
+    registry = DriverRegistry()
+    registry.register(RanDriver(allocator.ran))
+    registry.register(TransportDriver(allocator.transport))
+    registry.register(CloudDriver(allocator.cloud))
+    registry.register(EpcDriver(allocator.cloud.stack_of))
+    return registry
+
+
+__all__ = [
+    "CloudDriver",
+    "EpcDriver",
+    "RanDriver",
+    "TransportDriver",
+    "build_default_registry",
+]

@@ -1,0 +1,403 @@
+"""Uniform southbound contract every domain backend implements.
+
+The orchestrator of the paper's Fig. 1 sits above *heterogeneous*
+domain controllers — RAN, transport, cloud, vEPC — each of which grew
+its own vocabulary (``install_slice`` / ``reserve_path`` / ``deploy``).
+:class:`DomainDriver` is the single southbound API that hides those
+vocabularies behind a transactional reserve-then-commit discipline:
+
+    feasible(spec)? ──> prepare(spec) ──> Reservation[PREPARED]
+                                             │
+                         commit(reservation) │ rollback(reservation)
+                                             ▼
+                        Reservation[COMMITTED]   Reservation[ROLLED_BACK]
+                                             │
+                           release(slice_id) │
+                                             ▼
+                        Reservation[RELEASED]
+
+``prepare`` *holds* resources in the domain (a failed multi-domain
+install can still be unwound without side effects leaking), ``commit``
+makes the hold permanent, ``rollback`` undoes a hold, ``release`` frees
+a committed slice.  Backends without native two-phase semantics (all of
+the simulator controllers) implement ``prepare`` as the real reservation
+and ``rollback`` as the compensating release — the classic pattern for
+non-transactional southbound elements.
+
+:class:`BaseDriver` supplies the reservation bookkeeping and lifecycle
+state machine so concrete drivers only write the five ``_do_*`` hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class DriverError(RuntimeError):
+    """Raised on any southbound driver failure; names the domain."""
+
+    def __init__(self, domain: str, message: str) -> None:
+        super().__init__(f"[{domain}] {message}")
+        self.domain = domain
+        self.message = message
+
+
+class DriverAbsentError(DriverError):
+    """The slice holds nothing in this domain (a benign miss, so
+    best-effort sweeps can skip it — unlike a real backend failure)."""
+
+
+class ReservationState(enum.Enum):
+    """Lifecycle of one domain reservation (see module docstring)."""
+
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled_back"
+    RELEASED = "released"
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """What a slice asks of one domain, in domain-neutral terms.
+
+    Attributes:
+        slice_id: Owning slice.
+        tenant_id: Owning tenant (propagated into events/telemetry).
+        throughput_mbps: SLA downlink throughput.
+        max_latency_ms: End-to-end latency bound of the SLA.
+        duration_s: Requested slice lifetime.
+        effective_fraction: Overbooking shrinkage in (0, 1].
+        vcpus: Compute footprint (cloud-facing domains).
+        attributes: Domain-specific context the orchestrator resolved
+            (e.g. ``plmn``/``enb_id`` for RAN, ``src``/``dst``/
+            ``max_delay_ms`` for transport, ``dc_id`` for cloud).
+    """
+
+    slice_id: str
+    tenant_id: str = "anonymous"
+    throughput_mbps: float = 0.0
+    max_latency_ms: float = float("inf")
+    duration_s: float = 0.0
+    effective_fraction: float = 1.0
+    vcpus: float = 0.0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Reservation:
+    """One domain's hold (then commitment) for a slice.
+
+    Attributes:
+        reservation_id: Unique id within the driver.
+        domain: Issuing domain.
+        slice_id: Owning slice.
+        spec: The spec the reservation was prepared against.
+        state: Lifecycle state (see :class:`ReservationState`).
+        details: Domain-specific results (chosen cell, path, stack id,
+            native allocation objects) the orchestrator composes into
+            its end-to-end view.
+    """
+
+    reservation_id: str
+    domain: str
+    slice_id: str
+    spec: DomainSpec
+    state: ReservationState = ReservationState.PREPARED
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (telemetry / debugging)."""
+        return {
+            "reservation_id": self.reservation_id,
+            "domain": self.domain,
+            "slice_id": self.slice_id,
+            "state": self.state.value,
+        }
+
+
+@dataclass(frozen=True)
+class DriverCapabilities:
+    """What a backend can do, so the orchestrator adapts per domain.
+
+    Attributes:
+        domain: Domain name the driver serves (registry key).
+        resource_units: Units the domain accounts in (``"prbs"``,
+            ``"mbps"``, ``"vcpus"`` — empty for control-plane-only
+            domains like the vEPC binding).
+        supports_resize: Whether :meth:`DomainDriver.resize` works
+            (re-dimensioning/overbooking); drivers without it are
+            skipped by the reconfiguration loop.
+        supports_repair: Whether :meth:`DomainDriver.repair` can
+            re-establish a degraded slice (self-healing loop).
+        transactional: True when the backend has *native* two-phase
+            semantics; False when ``rollback`` is compensating.
+    """
+
+    domain: str
+    resource_units: Tuple[str, ...] = ()
+    supports_resize: bool = False
+    supports_repair: bool = False
+    transactional: bool = False
+
+
+class DomainDriver(abc.ABC):
+    """Abstract southbound driver every domain backend implements."""
+
+    #: Domain name; also the :class:`~repro.drivers.registry.DriverRegistry` key.
+    domain: str = "unknown"
+
+    @abc.abstractmethod
+    def capabilities(self) -> DriverCapabilities:
+        """Static description of what this backend supports."""
+
+    @abc.abstractmethod
+    def feasible(self, spec: DomainSpec) -> bool:
+        """Whether ``spec`` could currently be prepared (commits nothing)."""
+
+    @abc.abstractmethod
+    def prepare(self, spec: DomainSpec) -> Reservation:
+        """Hold resources for ``spec``; returns a PREPARED reservation.
+
+        Raises:
+            DriverError: When the domain cannot serve the spec.
+        """
+
+    @abc.abstractmethod
+    def commit(self, reservation: Reservation) -> None:
+        """Finalize a PREPARED reservation (state → COMMITTED)."""
+
+    @abc.abstractmethod
+    def rollback(self, reservation: Reservation) -> None:
+        """Undo a PREPARED reservation (state → ROLLED_BACK)."""
+
+    @abc.abstractmethod
+    def resize(self, slice_id: str, spec: DomainSpec) -> Reservation:
+        """Re-dimension a COMMITTED slice to ``spec`` in place.
+
+        Covers both tenant-requested scaling (new ``throughput_mbps``)
+        and the overbooking loop (new ``effective_fraction``).
+
+        Raises:
+            DriverError: If unsupported, unknown slice, or no fit.
+        """
+
+    @abc.abstractmethod
+    def release(self, slice_id: str) -> None:
+        """Free everything the domain holds for ``slice_id``.
+
+        Raises:
+            DriverError: If the slice holds nothing here.
+        """
+
+    @abc.abstractmethod
+    def health(self, slice_id: str) -> Dict[str, Any]:
+        """Domain-local health of a slice; must contain ``"healthy"``.
+
+        Raises:
+            DriverError: If the slice holds nothing here.
+        """
+
+    @abc.abstractmethod
+    def utilization(self) -> dict:
+        """Domain telemetry snapshot (monitoring collector input)."""
+
+    def reservation_of(self, slice_id: str) -> Optional[Reservation]:
+        """The live (PREPARED/COMMITTED) reservation for a slice, when
+        the driver tracks one — part of the pluggable contract because
+        the orchestrator's resize sweep consults it.  Drivers built on
+        :class:`BaseDriver` get tracking for free; direct subclasses
+        that keep no records return None and are skipped by resizes.
+        """
+        return None
+
+    def repair(self, slice_id: str) -> Reservation:
+        """Re-establish a degraded slice (e.g. re-route its path).
+
+        Only meaningful when ``capabilities().supports_repair``; the
+        default implementation refuses.
+
+        Raises:
+            DriverError: Always, unless a subclass overrides.
+        """
+        raise DriverError(self.domain, "driver does not support repair")
+
+
+class BaseDriver(DomainDriver):
+    """Reservation bookkeeping + state machine shared by all drivers.
+
+    Subclasses implement the ``_do_*`` hooks against their backend and
+    never touch the lifecycle rules:
+
+    - ``prepare`` refuses a second reservation for a live slice,
+    - ``commit``/``rollback`` only accept PREPARED reservations,
+    - ``release`` only accepts COMMITTED slices (but tolerates slices
+      installed out-of-band on the backend, for legacy callers).
+    """
+
+    def __init__(self) -> None:
+        self._reservations: Dict[str, Reservation] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
+        """Perform the hold; returns the reservation ``details``."""
+
+    def _do_commit(self, reservation: Reservation) -> None:
+        """Finalize the hold (default: nothing — prepare did the work)."""
+
+    @abc.abstractmethod
+    def _do_rollback(self, reservation: Reservation) -> None:
+        """Compensate the hold."""
+
+    @abc.abstractmethod
+    def _do_release(self, slice_id: str) -> None:
+        """Free a committed slice on the backend."""
+
+    def _do_resize(self, slice_id: str, spec: DomainSpec,
+                   reservation: Optional[Reservation]) -> Dict[str, Any]:
+        """Re-dimension on the backend; returns updated details."""
+        raise DriverError(self.domain, "driver does not support resize")
+
+    def _native_present(self, slice_id: str) -> bool:
+        """Whether the backend itself holds state for the slice."""
+        return slice_id in self._reservations
+
+    # ------------------------------------------------------------------
+    # Contract implementation
+    # ------------------------------------------------------------------
+    def reservation_of(self, slice_id: str) -> Optional[Reservation]:
+        """The live (PREPARED/COMMITTED) reservation for a slice."""
+        return self._reservations.get(slice_id)
+
+    def reservations(self) -> List[Reservation]:
+        """All live reservations."""
+        return list(self._reservations.values())
+
+    def prepare(self, spec: DomainSpec) -> Reservation:
+        existing = self._reservations.get(spec.slice_id)
+        if existing is not None:
+            if self._native_present(spec.slice_id):
+                raise DriverError(
+                    self.domain,
+                    f"slice {spec.slice_id} already holds a reservation",
+                )
+            # Backend state vanished out-of-band (legacy release path) —
+            # drop the stale record and re-prepare.
+            del self._reservations[spec.slice_id]
+        details = self._do_prepare(spec)
+        reservation = Reservation(
+            reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
+            domain=self.domain,
+            slice_id=spec.slice_id,
+            spec=spec,
+            state=ReservationState.PREPARED,
+            details=details,
+        )
+        self._reservations[spec.slice_id] = reservation
+        return reservation
+
+    def commit(self, reservation: Reservation) -> None:
+        self._check_owned(reservation)
+        if reservation.state is not ReservationState.PREPARED:
+            raise DriverError(
+                self.domain,
+                f"cannot commit reservation in state {reservation.state.value}",
+            )
+        self._do_commit(reservation)
+        reservation.state = ReservationState.COMMITTED
+
+    def rollback(self, reservation: Reservation) -> None:
+        self._check_owned(reservation)
+        if reservation.state is not ReservationState.PREPARED:
+            raise DriverError(
+                self.domain,
+                f"cannot roll back reservation in state {reservation.state.value}",
+            )
+        self._do_rollback(reservation)
+        reservation.state = ReservationState.ROLLED_BACK
+        self._reservations.pop(reservation.slice_id, None)
+
+    def release(self, slice_id: str) -> None:
+        reservation = self._reservations.get(slice_id)
+        if reservation is None:
+            # Installed out-of-band (legacy allocator path) — free the
+            # backend state if any, else report the miss.
+            if not self._native_present(slice_id):
+                raise DriverAbsentError(
+                    self.domain, f"slice {slice_id} holds nothing"
+                )
+            self._do_release(slice_id)
+            return
+        if reservation.state is not ReservationState.COMMITTED:
+            raise DriverError(
+                self.domain,
+                f"cannot release reservation in state {reservation.state.value}",
+            )
+        if not self._native_present(slice_id):
+            # Backend state vanished out-of-band — just drop the record.
+            del self._reservations[slice_id]
+            reservation.state = ReservationState.RELEASED
+            return
+        # Free the backend *first*: if it fails, the reservation stays
+        # COMMITTED so the caller can retry instead of stranding the
+        # backend's capacity behind a forgotten record.
+        self._do_release(slice_id)
+        del self._reservations[slice_id]
+        reservation.state = ReservationState.RELEASED
+
+    def resize(self, slice_id: str, spec: DomainSpec) -> Reservation:
+        if not self.capabilities().supports_resize:
+            raise DriverError(self.domain, "driver does not support resize")
+        reservation = self._reservations.get(slice_id)
+        if reservation is None and not self._native_present(slice_id):
+            raise DriverAbsentError(self.domain, f"slice {slice_id} holds nothing")
+        details = self._do_resize(slice_id, spec, reservation)
+        if reservation is None:
+            reservation = Reservation(
+                reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
+                domain=self.domain,
+                slice_id=slice_id,
+                spec=spec,
+                state=ReservationState.COMMITTED,
+                details=details,
+            )
+            self._reservations[slice_id] = reservation
+        else:
+            reservation.spec = spec
+            reservation.details.update(details)
+        return reservation
+
+    def health(self, slice_id: str) -> Dict[str, Any]:
+        if self.reservation_of(slice_id) is None and not self._native_present(slice_id):
+            raise DriverAbsentError(self.domain, f"slice {slice_id} holds nothing")
+        return self._do_health(slice_id)
+
+    def _do_health(self, slice_id: str) -> Dict[str, Any]:
+        return {"domain": self.domain, "slice_id": slice_id, "healthy": True}
+
+    def _check_owned(self, reservation: Reservation) -> None:
+        if reservation.domain != self.domain:
+            raise DriverError(
+                self.domain,
+                f"reservation {reservation.reservation_id} belongs to domain "
+                f"{reservation.domain!r}",
+            )
+
+
+__all__ = [
+    "BaseDriver",
+    "DomainDriver",
+    "DomainSpec",
+    "DriverAbsentError",
+    "DriverCapabilities",
+    "DriverError",
+    "Reservation",
+    "ReservationState",
+]

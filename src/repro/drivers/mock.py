@@ -1,0 +1,148 @@
+"""In-memory mock backend honouring the full driver contract.
+
+Two uses:
+
+1. **Conformance reference** — the driver conformance suite runs the
+   identical contract tests against :class:`MockDriver` and the four
+   real adapters, so any future backend (a real SDN controller, an
+   alternate simulator) has an executable specification to pass.
+2. **Failure injection** — ``fail_next_prepare`` / ``fail_next_commit``
+   let tests (and chaos experiments) break the install transaction at a
+   chosen domain and verify the rollback discipline leaves zero
+   residue in the other domains.
+
+Capacity is a single scalar pool accounted in ``throughput_mbps``
+(``effective_fraction`` applied), which is enough to exercise both the
+"fits" and "does not fit" branches of every lifecycle path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.drivers.base import (
+    BaseDriver,
+    DomainSpec,
+    DriverCapabilities,
+    DriverError,
+    Reservation,
+)
+
+
+class MockDriver(BaseDriver):
+    """A self-contained driver with a scalar capacity pool."""
+
+    def __init__(
+        self,
+        domain: str = "mock",
+        capacity_mbps: float = 1_000.0,
+    ) -> None:
+        super().__init__()
+        self.domain = domain
+        self.capacity_mbps = float(capacity_mbps)
+        self._held: Dict[str, float] = {}  # slice_id -> held mbps
+        #: Remaining prepare calls to fail (failure injection).
+        self.fail_next_prepare = 0
+        #: Remaining commit calls to fail (failure injection).
+        self.fail_next_commit = 0
+        #: Remaining release calls to fail (failure injection).
+        self.fail_next_release = 0
+        self.prepares = 0
+        self.commits = 0
+        self.rollbacks = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    # Contract
+    # ------------------------------------------------------------------
+    def capabilities(self) -> DriverCapabilities:
+        return DriverCapabilities(
+            domain=self.domain,
+            resource_units=("mbps",),
+            supports_resize=True,
+            supports_repair=True,
+        )
+
+    @property
+    def held_mbps(self) -> float:
+        """Total capacity currently held or committed."""
+        return sum(self._held.values())
+
+    def _demand(self, spec: DomainSpec) -> float:
+        return spec.throughput_mbps * spec.effective_fraction
+
+    def feasible(self, spec: DomainSpec) -> bool:
+        return self._demand(spec) <= self.capacity_mbps - self.held_mbps + 1e-9
+
+    def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
+        self.prepares += 1
+        if self.fail_next_prepare > 0:
+            self.fail_next_prepare -= 1
+            raise DriverError(self.domain, "injected prepare failure")
+        demand = self._demand(spec)
+        if not self.feasible(spec):
+            raise DriverError(
+                self.domain,
+                f"{demand:.1f} Mb/s requested but only "
+                f"{self.capacity_mbps - self.held_mbps:.1f} free",
+            )
+        self._held[spec.slice_id] = demand
+        return {"held_mbps": demand}
+
+    def _do_commit(self, reservation: Reservation) -> None:
+        self.commits += 1
+        if self.fail_next_commit > 0:
+            self.fail_next_commit -= 1
+            # The failed commit loses the hold; the reservation stays
+            # PREPARED so the transaction's unwind rolls it back.
+            self._held.pop(reservation.slice_id, None)
+            raise DriverError(self.domain, "injected commit failure")
+
+    def _native_present(self, slice_id: str) -> bool:
+        return slice_id in self._held
+
+    def _do_rollback(self, reservation: Reservation) -> None:
+        self.rollbacks += 1
+        self._held.pop(reservation.slice_id, None)
+
+    def _do_release(self, slice_id: str) -> None:
+        self.releases += 1
+        if self.fail_next_release > 0:
+            self.fail_next_release -= 1
+            raise DriverError(self.domain, "injected release failure")
+        if slice_id not in self._held:
+            raise DriverError(self.domain, f"slice {slice_id} holds nothing")
+        del self._held[slice_id]
+
+    def _do_resize(self, slice_id: str, spec: DomainSpec,
+                   reservation: Optional[Reservation]) -> Dict[str, Any]:
+        if slice_id not in self._held:
+            raise DriverError(self.domain, f"slice {slice_id} holds nothing")
+        new_demand = self._demand(spec)
+        others = self.held_mbps - self._held[slice_id]
+        if others + new_demand > self.capacity_mbps + 1e-9:
+            raise DriverError(self.domain, "resize does not fit")
+        self._held[slice_id] = new_demand
+        return {"held_mbps": new_demand}
+
+    def repair(self, slice_id: str) -> Reservation:
+        reservation = self.reservation_of(slice_id)
+        if reservation is None:
+            raise DriverError(self.domain, f"slice {slice_id} holds nothing")
+        return reservation
+
+    def utilization(self) -> dict:
+        return {
+            "domain": self.domain,
+            "capacity_mbps": self.capacity_mbps,
+            "held_mbps": self.held_mbps,
+            "active_reservations": len(self._held),
+        }
+
+
+#: Back-compat friendly alias: a registry wired purely from mocks is a
+#: "null" backend (nothing simulated, everything accounted).
+NullDriver = MockDriver
+
+
+__all__ = ["MockDriver", "NullDriver"]

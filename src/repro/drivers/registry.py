@@ -1,0 +1,110 @@
+"""Pluggable registry of southbound domain drivers.
+
+The orchestrator's lifecycle operations (install, resize, release,
+heal) go through the registry, not the controllers.  Registration
+order is *install order*: the two-phase install transaction prepares
+domains in the order they were registered and unwinds them in reverse,
+so register ingress-first (RAN → transport → cloud → EPC in the
+default wiring).  Any backend honouring the
+:class:`~repro.drivers.base.DomainDriver` contract — a real SDN
+controller adapter, an alternate simulator, a mock — plugs in with one
+``register`` call; note that *placement planning* (cell/DC selection,
+admission free vectors) still consults the allocator's topology views,
+so fully replacing the RAN/cloud backend also needs a matching
+placement provider (see ``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.drivers.base import DomainDriver, DriverError
+
+
+class DriverRegistry:
+    """Ordered mapping of domain name → :class:`DomainDriver`."""
+
+    def __init__(self, drivers: Optional[List[DomainDriver]] = None) -> None:
+        self._drivers: Dict[str, DomainDriver] = {}
+        for driver in drivers or []:
+            self.register(driver)
+
+    def register(self, driver: DomainDriver, replace: bool = False) -> DomainDriver:
+        """Add a driver under its ``domain`` name.
+
+        Args:
+            driver: The backend to plug in.
+            replace: Allow swapping out an already-registered domain —
+                the *previous* driver is then returned to the caller's
+                care (it may still track reservations to drain).
+
+        Returns:
+            The displaced driver when one was replaced, else ``driver``.
+
+        Raises:
+            DriverError: On a duplicate domain without ``replace``.
+        """
+        domain = driver.domain
+        previous = self._drivers.get(domain)
+        if previous is not None and not replace:
+            raise DriverError(domain, "domain already registered")
+        self._drivers[domain] = driver
+        return previous if previous is not None else driver
+
+    def unregister(self, domain: str) -> DomainDriver:
+        """Remove and return the driver serving ``domain``.
+
+        Raises:
+            DriverError: If unknown.
+        """
+        try:
+            return self._drivers.pop(domain)
+        except KeyError:
+            raise DriverError(domain, "domain not registered") from None
+
+    def get(self, domain: str) -> DomainDriver:
+        """Lookup the driver serving ``domain``.
+
+        Raises:
+            DriverError: If unknown.
+        """
+        try:
+            return self._drivers[domain]
+        except KeyError:
+            raise DriverError(domain, "domain not registered") from None
+
+    def domains(self) -> List[str]:
+        """Registered domain names, in registration (install) order."""
+        return list(self._drivers)
+
+    def drivers(self) -> List[DomainDriver]:
+        """Registered drivers, in registration (install) order."""
+        return list(self._drivers.values())
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._drivers
+
+    def __len__(self) -> int:
+        return len(self._drivers)
+
+    def __iter__(self) -> Iterator[DomainDriver]:
+        return iter(self._drivers.values())
+
+    def utilization(self) -> dict:
+        """Per-domain telemetry snapshot."""
+        return {d.domain: d.utilization() for d in self._drivers.values()}
+
+    def capabilities(self) -> dict:
+        """Per-domain capability summary (API/debugging surface)."""
+        return {
+            d.domain: {
+                "resource_units": list(d.capabilities().resource_units),
+                "supports_resize": d.capabilities().supports_resize,
+                "supports_repair": d.capabilities().supports_repair,
+                "transactional": d.capabilities().transactional,
+            }
+            for d in self._drivers.values()
+        }
+
+
+__all__ = ["DriverRegistry"]

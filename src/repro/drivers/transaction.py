@@ -1,0 +1,167 @@
+"""Two-phase multi-domain install transaction.
+
+The broker admits a slice only when it embeds end-to-end; a partial
+install (radio reserved, path reserved, but no compute) must leave
+*zero* residue.  :class:`InstallTransaction` runs the reserve-then-
+commit discipline across every registered driver:
+
+1. **Prepare phase** — drivers are prepared in registry order; each
+   returns a PREPARED :class:`~repro.drivers.base.Reservation`.
+2. **Validation** — an optional cross-domain check (e.g. the end-to-end
+   latency budget) runs over the full reservation set.
+3. **Commit phase** — every reservation is committed, again in order.
+
+Any :class:`~repro.drivers.base.DriverError` in any phase unwinds the
+transaction in reverse order: PREPARED reservations are rolled back,
+already-COMMITTED ones released.  The ``on_rollback`` callback fires
+per unwound domain so the orchestrator can emit rollback events on the
+northbound feed.  Unwind is best-effort: a failing compensation is
+reported in the final error but never stops the remaining unwinds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.drivers.base import (
+    DomainDriver,
+    DomainSpec,
+    DriverError,
+    Reservation,
+    ReservationState,
+)
+from repro.drivers.registry import DriverRegistry
+
+#: Callback fired for each unwound reservation: (domain, reservation, reason).
+RollbackHook = Callable[[str, Reservation, str], None]
+
+
+class TransactionError(RuntimeError):
+    """A multi-domain install failed (after full unwind); names the
+    domain whose prepare/validate/commit step broke the transaction."""
+
+    def __init__(self, domain: str, message: str) -> None:
+        super().__init__(f"[{domain}] {message}")
+        self.domain = domain
+        self.message = message
+
+
+class InstallTransaction:
+    """Prepare/commit coordinator over a :class:`DriverRegistry`."""
+
+    def __init__(
+        self,
+        registry: DriverRegistry,
+        on_rollback: Optional[RollbackHook] = None,
+    ) -> None:
+        self.registry = registry
+        self.on_rollback = on_rollback
+
+    def run(
+        self,
+        specs: Mapping[str, DomainSpec],
+        validate: Optional[Callable[[Dict[str, Reservation]], None]] = None,
+    ) -> Dict[str, Reservation]:
+        """Execute the transaction; returns COMMITTED reservations by domain.
+
+        Args:
+            specs: One :class:`DomainSpec` per *registered* domain; a
+                missing or surplus domain is a caller bug and fails the
+                transaction before anything is prepared.
+            validate: Optional cross-domain check run after all prepares
+                (raise :class:`DriverError` to abort and unwind).
+
+        Raises:
+            TransactionError: On any failure, after unwinding every
+                already-prepared/committed domain.
+        """
+        domains = self.registry.domains()
+        missing = [d for d in domains if d not in specs]
+        surplus = [d for d in specs if d not in domains]
+        if missing or surplus:
+            raise TransactionError(
+                "orchestrator",
+                f"spec/domain mismatch (missing={missing}, surplus={surplus})",
+            )
+        prepared = self.prepare_domains(domains, specs)
+        reservations = {res.domain: res for _, res in prepared}
+        failed_domain = "orchestrator"
+        try:
+            if validate is not None:
+                validate(reservations)
+            for driver, reservation in prepared:
+                failed_domain = driver.domain
+                driver.commit(reservation)
+        except Exception as exc:
+            self._unwind_and_raise(prepared, exc, failed_domain)
+        return reservations
+
+    def prepare_domains(
+        self, domains: List[str], specs: Mapping[str, DomainSpec]
+    ) -> List[Tuple[DomainDriver, Reservation]]:
+        """Prepare ``domains`` in order; the transaction's prepare phase.
+
+        Exposed so callers staging a transaction in segments (the
+        orchestrator's DC-independent prefix) reuse the one
+        implementation of the discipline: any failure — including a
+        third-party driver raising something other than
+        :class:`DriverError` — unwinds everything this call prepared.
+
+        Raises:
+            TransactionError: On any failure, after unwinding.
+        """
+        prepared: List[Tuple[DomainDriver, Reservation]] = []
+        failed_domain = "orchestrator"
+        try:
+            for domain in domains:
+                failed_domain = domain
+                driver = self.registry.get(domain)
+                prepared.append((driver, driver.prepare(specs[domain])))
+        except Exception as exc:
+            self._unwind_and_raise(prepared, exc, failed_domain)
+        return prepared
+
+    def _unwind_and_raise(
+        self,
+        prepared: List[Tuple[DomainDriver, Reservation]],
+        exc: Exception,
+        failed_domain: str,
+    ) -> None:
+        """Unwind ``prepared`` and re-raise ``exc`` as TransactionError."""
+        unwind_errors = self.unwind(prepared, reason=str(exc))
+        if isinstance(exc, DriverError):
+            message = exc.message
+        else:
+            message = f"unexpected {type(exc).__name__}: {exc}"
+        if unwind_errors:
+            message += f" (unwind also failed: {'; '.join(unwind_errors)})"
+        raise TransactionError(
+            getattr(exc, "domain", failed_domain), message
+        ) from exc
+
+    def unwind(
+        self, prepared: List[Tuple[DomainDriver, Reservation]], reason: str
+    ) -> List[str]:
+        """Best-effort reverse unwind of ``(driver, reservation)`` pairs —
+        COMMITTED ones released, PREPARED ones rolled back, each firing
+        ``on_rollback``.  Returns compensation failures (the single
+        implementation of the discipline; the orchestrator reuses it for
+        segments it prepares outside :meth:`run`)."""
+        errors: List[str] = []
+        for driver, reservation in reversed(prepared):
+            try:
+                if reservation.state is ReservationState.COMMITTED:
+                    driver.release(reservation.slice_id)
+                elif reservation.state is ReservationState.PREPARED:
+                    driver.rollback(reservation)
+                else:  # already unwound — nothing to do
+                    continue
+            except Exception as exc:  # a failing compensation never stops
+                errors.append(f"[{driver.domain}] {exc}")  # the remaining unwinds
+                continue
+            if self.on_rollback is not None:
+                self.on_rollback(driver.domain, reservation, reason)
+        return errors
+
+
+__all__ = ["InstallTransaction", "RollbackHook", "TransactionError"]

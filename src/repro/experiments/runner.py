@@ -16,6 +16,8 @@ from repro.core.admission import AdmissionPolicy, FcfsPolicy
 from repro.core.forecasting import Forecaster, HoltWintersForecaster
 from repro.core.orchestrator import Orchestrator, OrchestratorConfig
 from repro.core.overbooking import NoOverbooking, OverbookingPolicy
+from repro.drivers.adapters import build_default_registry
+from repro.drivers.base import DomainDriver
 from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
@@ -36,6 +38,9 @@ class ScenarioConfig:
         mix: Vertical request mixture.
         testbed: Testbed sizing.
         orchestrator: Orchestration-loop tunables.
+        extra_drivers: Additional southbound drivers registered after
+            the default four (e.g. a :class:`~repro.drivers.mock.MockDriver`
+            for failure-injection experiments).
     """
 
     horizon_s: float = 4 * 3_600.0
@@ -47,6 +52,7 @@ class ScenarioConfig:
     mix: Optional[RequestMix] = None
     testbed: TestbedConfig = field(default_factory=TestbedConfig)
     orchestrator: OrchestratorConfig = field(default_factory=OrchestratorConfig)
+    extra_drivers: Optional[list] = None
 
 
 @dataclass
@@ -90,9 +96,18 @@ class ScenarioRunner:
         self.streams = RandomStreams(seed=config.seed)
         self.sim = Simulator()
         self.testbed: Testbed = build_testbed(config.testbed)
+        self.registry = build_default_registry(self.testbed.allocator)
+        for driver in config.extra_drivers or []:
+            if not isinstance(driver, DomainDriver):
+                raise TypeError(
+                    f"extra_drivers entries must be DomainDriver instances, "
+                    f"got {driver!r}"
+                )
+            self.registry.register(driver)
         self.orchestrator = Orchestrator(
             sim=self.sim,
             allocator=self.testbed.allocator,
+            registry=self.registry,
             plmn_pool=self.testbed.plmn_pool,
             admission=config.admission or FcfsPolicy(),
             overbooking=config.overbooking or NoOverbooking(),

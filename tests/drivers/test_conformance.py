@@ -1,0 +1,258 @@
+"""Driver conformance suite.
+
+The *same* contract tests run against every registered backend — the
+four adapters over the simulator controllers and the in-memory mock —
+so any future driver (a real SDN controller, an alternate simulator)
+has an executable specification: build a ``DriverCase`` for it, add it
+to ``CASES``, and the full lifecycle/state-machine surface is covered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import pytest
+
+from repro.cloud.controller import CloudController
+from repro.cloud.datacenter import ComputeNode, Datacenter, DatacenterTier
+from repro.drivers.adapters import CloudDriver, EpcDriver, RanDriver, TransportDriver
+from repro.drivers.base import DomainDriver, DomainSpec, DriverError, ReservationState
+from repro.drivers.mock import MockDriver
+from repro.epc.components import epc_template
+from repro.experiments.testbed import build_testbed
+from repro.core.slices import PlmnPool
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class DriverCase:
+    """One backend under conformance test."""
+
+    name: str
+    driver: DomainDriver
+    #: Build a *feasible* spec for a fresh slice id (performing any
+    #: cross-domain setup the backend needs, e.g. the EPC's stack).
+    new_spec: Callable[[], DomainSpec]
+
+
+def _common(slice_id: str, **overrides) -> dict:
+    base = dict(
+        slice_id=slice_id,
+        tenant_id="tenant-a",
+        throughput_mbps=10.0,
+        max_latency_ms=50.0,
+        duration_s=3_600.0,
+        effective_fraction=1.0,
+        vcpus=4.0,
+    )
+    base.update(overrides)
+    return base
+
+
+def _ran_case() -> DriverCase:
+    testbed = build_testbed()
+    pool = PlmnPool(size=12)
+    driver = RanDriver(testbed.ran)
+
+    def new_spec() -> DomainSpec:
+        slice_id = f"slice-conf-{next(_ids):04d}"
+        plmn = pool.allocate(slice_id)
+        return DomainSpec(attributes={"plmn": plmn}, **_common(slice_id))
+
+    return DriverCase("ran", driver, new_spec)
+
+
+def _transport_case() -> DriverCase:
+    testbed = build_testbed()
+    driver = TransportDriver(testbed.transport)
+
+    def new_spec() -> DomainSpec:
+        slice_id = f"slice-conf-{next(_ids):04d}"
+        return DomainSpec(
+            attributes={
+                "src": "enb1-agg",
+                "dst": "edge-dc-gw",
+                "max_delay_ms": 10.0,
+                "plmn_id": "00101",
+            },
+            **_common(slice_id),
+        )
+
+    return DriverCase("transport", driver, new_spec)
+
+
+def _cloud_case() -> DriverCase:
+    dc = Datacenter(
+        "edge-dc",
+        DatacenterTier.EDGE,
+        nodes=[ComputeNode(f"n{i}", vcpus=64) for i in range(2)],
+        gateway_node="edge-dc-gw",
+        processing_delay_ms=0.5,
+    )
+    driver = CloudDriver(CloudController([dc]))
+
+    def new_spec() -> DomainSpec:
+        slice_id = f"slice-conf-{next(_ids):04d}"
+        return DomainSpec(attributes={"dc_id": "edge-dc"}, **_common(slice_id))
+
+    return DriverCase("cloud", driver, new_spec)
+
+
+def _epc_case() -> DriverCase:
+    dc = Datacenter(
+        "edge-dc",
+        DatacenterTier.EDGE,
+        nodes=[ComputeNode(f"n{i}", vcpus=64) for i in range(4)],
+        gateway_node="edge-dc-gw",
+        processing_delay_ms=0.5,
+    )
+    cloud = CloudController([dc])
+    driver = EpcDriver(cloud.stack_of)
+
+    def new_spec() -> DomainSpec:
+        slice_id = f"slice-conf-{next(_ids):04d}"
+        # The EPC binds to the slice's (already-deployed) cloud stack.
+        if cloud.stack_of(slice_id) is None:
+            cloud.deploy(slice_id, epc_template(slice_id), "edge-dc")
+        return DomainSpec(attributes={"plmn_id": "00101"}, **_common(slice_id))
+
+    return DriverCase("epc", driver, new_spec)
+
+
+def _mock_case() -> DriverCase:
+    driver = MockDriver(domain="mock", capacity_mbps=100.0)
+
+    def new_spec() -> DomainSpec:
+        slice_id = f"slice-conf-{next(_ids):04d}"
+        return DomainSpec(**_common(slice_id))
+
+    return DriverCase("mock", driver, new_spec)
+
+
+CASES = {
+    "ran": _ran_case,
+    "transport": _transport_case,
+    "cloud": _cloud_case,
+    "epc": _epc_case,
+    "mock": _mock_case,
+}
+
+
+@pytest.fixture(params=sorted(CASES))
+def case(request) -> DriverCase:
+    return CASES[request.param]()
+
+
+class TestCapabilities:
+    def test_domain_name_matches(self, case):
+        caps = case.driver.capabilities()
+        assert caps.domain == case.driver.domain == case.name
+        assert isinstance(caps.resource_units, tuple)
+
+    def test_utilization_names_domain(self, case):
+        util = case.driver.utilization()
+        assert util["domain"] == case.name
+
+
+class TestLifecycle:
+    def test_feasible_then_prepare(self, case):
+        spec = case.new_spec()
+        assert case.driver.feasible(spec)
+        reservation = case.driver.prepare(spec)
+        assert reservation.state is ReservationState.PREPARED
+        assert reservation.domain == case.name
+        assert reservation.slice_id == spec.slice_id
+        assert case.driver.reservation_of(spec.slice_id) is reservation
+
+    def test_duplicate_prepare_rejected(self, case):
+        spec = case.new_spec()
+        case.driver.prepare(spec)
+        with pytest.raises(DriverError):
+            case.driver.prepare(spec)
+
+    def test_commit_then_release(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare(spec)
+        case.driver.commit(reservation)
+        assert reservation.state is ReservationState.COMMITTED
+        assert case.driver.health(spec.slice_id)["healthy"]
+        case.driver.release(spec.slice_id)
+        assert reservation.state is ReservationState.RELEASED
+        assert case.driver.reservation_of(spec.slice_id) is None
+        with pytest.raises(DriverError):
+            case.driver.release(spec.slice_id)
+
+    def test_rollback_leaves_no_residue(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare(spec)
+        case.driver.rollback(reservation)
+        assert reservation.state is ReservationState.ROLLED_BACK
+        assert case.driver.reservation_of(spec.slice_id) is None
+        # Zero residue: the same slice can be prepared again.
+        again = case.driver.prepare(spec)
+        assert again.state is ReservationState.PREPARED
+        case.driver.rollback(again)
+
+    def test_state_machine_rejects_out_of_order_transitions(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare(spec)
+        case.driver.commit(reservation)
+        with pytest.raises(DriverError):
+            case.driver.commit(reservation)  # double commit
+        with pytest.raises(DriverError):
+            case.driver.rollback(reservation)  # rollback after commit
+        case.driver.release(spec.slice_id)
+
+    def test_release_requires_commit(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare(spec)
+        with pytest.raises(DriverError):
+            case.driver.release(spec.slice_id)
+        case.driver.rollback(reservation)
+
+    def test_health_unknown_slice_raises(self, case):
+        with pytest.raises(DriverError):
+            case.driver.health("slice-never-installed")
+
+
+class TestResize:
+    def test_resize_respects_capability(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare(spec)
+        case.driver.commit(reservation)
+        shrunk = DomainSpec(
+            attributes=dict(spec.attributes),
+            **_common(spec.slice_id, effective_fraction=0.5),
+        )
+        if case.driver.capabilities().supports_resize:
+            resized = case.driver.resize(spec.slice_id, shrunk)
+            assert resized.state is ReservationState.COMMITTED
+            assert resized.spec.effective_fraction == 0.5
+        else:
+            with pytest.raises(DriverError):
+                case.driver.resize(spec.slice_id, shrunk)
+        case.driver.release(spec.slice_id)
+
+    def test_resize_unknown_slice_raises(self, case):
+        spec = case.new_spec()
+        if not case.driver.capabilities().supports_resize:
+            pytest.skip("driver does not support resize")
+        with pytest.raises(DriverError):
+            case.driver.resize("slice-never-installed", spec)
+
+
+class TestRepair:
+    def test_repair_respects_capability(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare(spec)
+        case.driver.commit(reservation)
+        if case.driver.capabilities().supports_repair:
+            repaired = case.driver.repair(spec.slice_id)
+            assert repaired.slice_id == spec.slice_id
+        else:
+            with pytest.raises(DriverError):
+                case.driver.repair(spec.slice_id)
+        case.driver.release(spec.slice_id)

@@ -1,0 +1,27 @@
+"""Benchmark-drift smoke: every bench module must stay importable.
+
+Benchmarks are not part of the tier-1 run (they are slow), so an API
+rename can silently strand them.  Importing each module catches stale
+imports and signature drift cheaply; CI runs the same check as a
+dedicated job.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def test_bench_modules_discovered():
+    assert len(BENCH_MODULES) >= 11  # D1..D11 at time of writing
+
+
+@pytest.mark.parametrize("path", BENCH_MODULES, ids=lambda p: p.stem)
+def test_bench_module_imports(path):
+    pytest.importorskip("pytest_benchmark", reason="bench deps not installed")
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)

@@ -10,7 +10,11 @@ on the installed slice.
 Expected shape: acceptance decreases monotonically with offered load;
 decision latency stays in the millisecond range (the real demo's
 "few seconds" is dominated by VM boot, which simulation collapses);
-attach latency ≈ RRC + 5 transport traversals + EPC processing.
+attach latency ≈ RRC + 5 transport traversals + EPC processing.  The
+batched-deployment variant (D4c) shows the fleet-scale install engine
+collapsing a burst's total deployment wall-clock: per-slice latency of
+a batched burst undercuts the sequential seed path by well over 2×
+once southbound calls cost real time.
 """
 
 from __future__ import annotations
@@ -177,3 +181,30 @@ def test_d4_attach_latency(benchmark):
         assert outcome.success
 
     benchmark(attach_detach)
+
+
+def test_d4_batched_deployment_latency(benchmark):
+    """D4c — per-slice deployment wall-clock of an admission burst,
+    sequential seed path vs. the concurrent batch install planner, over
+    southbound drivers with emulated per-call latency."""
+    from benchmarks.bench_d8_scalability import _install_burst
+
+    burst = 8
+    rows = []
+    per_slice_ms = {}
+    for mode, batched in (("sequential", False), ("batched", True)):
+        elapsed = _install_burst(burst, batched=batched)
+        per_slice_ms[mode] = 1_000.0 * elapsed / burst
+        rows.append([mode, burst, elapsed, per_slice_ms[mode]])
+    emit_table(
+        "D4c",
+        f"per-slice deployment latency, burst of {burst} (2 ms southbound prepare)",
+        ["mode", "slices", "wall_s", "ms_per_slice"],
+        rows,
+    )
+    # The hard >=2x acceptance bar lives in D8b at the full 32-slice
+    # burst; at this small burst just require the batched path to win
+    # (loaded CI runners can squeeze small-burst parallelism).
+    assert per_slice_ms["batched"] < per_slice_ms["sequential"]
+    # Timed kernel: one batched burst end-to-end.
+    benchmark.pedantic(lambda: _install_burst(burst, batched=True), rounds=1, iterations=1)

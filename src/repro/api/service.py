@@ -377,7 +377,11 @@ class SliceService:
         """Asynchronous (batch-window) admission through the broker.
 
         The request queues until the broker's decision window flushes;
-        the returned :class:`Operation` resolves with the admit/reject
+        the window's winners are then installed as one *concurrent*
+        batch through the orchestrator's
+        :class:`~repro.drivers.planner.BatchInstallPlanner` (deployment
+        latency of N slices ≈ the slowest single install, not the sum).
+        The returned :class:`Operation` resolves with the admit/reject
         decision then (poll ``GET /v1/operations/{op_id}``).
         """
         parsed = SLICE_CREATE.parse(payload)

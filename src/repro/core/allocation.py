@@ -1,10 +1,11 @@
-"""Multi-domain resource allocation.
+"""Multi-domain placement planning.
 
-Given an admitted slice, commit resources in all three domains —
-"radio resources (PRBs) are reserved through the RAN controller,
-dedicated paths are selected to guarantee the required delay and
-capacity in the transport network and cloud (or mobile edge) data
-centers are selected to satisfy the network slice SLAs" (paper §3).
+Given a slice request, answer the cross-domain questions the admission
+and install engines ask — "radio resources (PRBs) are reserved through
+the RAN controller, dedicated paths are selected to guarantee the
+required delay and capacity in the transport network and cloud (or
+mobile edge) data centers are selected to satisfy the network slice
+SLAs" (paper §3).
 
 The allocator owns two cross-domain concerns:
 
@@ -16,48 +17,40 @@ The allocator owns two cross-domain concerns:
    spills latency-tight slices (URLLC, automotive) to the edge,
    preserving scarce edge capacity for the slices that need it.
 
-Failure in any domain rolls back the domains already committed, so a
-rejected slice never leaks resources.
-
-.. deprecated::
-   The *lifecycle* methods here (``allocate``/``release``/
-   ``modify_throughput``/``resize``) are the pre-driver-API commit path,
-   retained for direct tests and tooling.  Production installs go
-   through :mod:`repro.drivers` (the orchestrator's two-phase
-   transaction over the :class:`~repro.drivers.registry.DriverRegistry`);
-   mixing the two paths on one live testbed leaks driver-side
-   reservation records — release through the same path you installed
-   with.  The planning/feasibility surface (``demand_vector``,
-   ``free_vector``, ``candidate_datacenters``, ``transport_budget_ms``,
-   aggregate vectors) remains fully supported.
+This is a pure *planning* surface: demand estimation, free/aggregate
+capacity vectors, candidate-DC ranking, the latency-budget split and
+the commit-nothing feasibility probe.  The lifecycle itself — the
+pre-driver-API ``allocate``/``release``/``modify_throughput``/
+``resize`` methods that once committed resources here — is retired:
+every install, resize, release and repair runs through
+:mod:`repro.drivers` (the two-phase transaction / batch planner over
+the :class:`~repro.drivers.registry.DriverRegistry`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.cloud.controller import CloudAllocation, CloudController
-from repro.cloud.datacenter import CloudError, Datacenter, DatacenterTier
+from repro.cloud.datacenter import Datacenter, DatacenterTier
 from repro.core.admission import ResourceVector
-from repro.core.slices import NetworkSlice, SliceRequest
+from repro.core.slices import SliceRequest
 from repro.epc.components import epc_template
 from repro.ran.controller import (
     RAN_SEGMENT_LATENCY_MS,
     RanAllocation,
     RanController,
 )
-from repro.ran.enb import RanConfigError
 from repro.transport.controller import (
     TransportAllocation,
     TransportController,
-    TransportError,
 )
 from repro.transport.paths import PathRequest
 
 
 class AllocationError(RuntimeError):
-    """Raised when end-to-end allocation fails; names the failing domain."""
+    """Raised when end-to-end planning fails; names the failing domain."""
 
     def __init__(self, domain: str, message: str) -> None:
         super().__init__(f"[{domain}] {message}")
@@ -84,7 +77,7 @@ class EndToEndAllocation:
 
 
 class MultiDomainAllocator:
-    """Commits slices across RAN, transport and cloud with rollback."""
+    """Plans slices across RAN, transport and cloud (commits nothing)."""
 
     def __init__(
         self,
@@ -229,201 +222,6 @@ class MultiDomainAllocator:
             return False
         enb_node = self.ran.enb(enb_id).transport_node
         return bool(self.candidate_datacenters(request, enb_node))
-
-    # ------------------------------------------------------------------
-    # Commit with rollback
-    # ------------------------------------------------------------------
-    def allocate(
-        self,
-        network_slice: NetworkSlice,
-        effective_fraction: float = 1.0,
-    ) -> EndToEndAllocation:
-        """Commit the slice end-to-end.
-
-        Order: RAN first (it pins the ingress node), then transport to
-        the chosen DC, then the cloud stack.  On any failure, everything
-        committed so far is released and :class:`AllocationError` names
-        the failing domain.
-
-        Raises:
-            AllocationError: When any domain cannot serve the slice.
-        """
-        request = network_slice.request
-        slice_id = network_slice.slice_id
-        if network_slice.plmn is None:
-            raise AllocationError("orchestrator", f"slice {slice_id} has no PLMN")
-        # --- RAN ------------------------------------------------------
-        try:
-            ran_alloc = self.ran.install_slice(
-                slice_id,
-                network_slice.plmn,
-                request.sla.throughput_mbps,
-                effective_fraction=effective_fraction,
-            )
-        except RanConfigError as exc:
-            raise AllocationError("ran", str(exc)) from exc
-        enb_node = self.ran.enb(ran_alloc.enb_id).transport_node
-        # --- Cloud target selection ------------------------------------
-        candidates = self.candidate_datacenters(request, enb_node)
-        if not candidates:
-            self.ran.remove_slice(slice_id)
-            raise AllocationError(
-                "cloud",
-                f"no datacenter satisfies compute + latency for {slice_id}",
-            )
-        last_error: Optional[Exception] = None
-        for dc in candidates:
-            budget = self._transport_budget_ms(request, dc)
-            path_request = PathRequest(
-                src=enb_node,
-                dst=dc.gateway_node,
-                min_bandwidth_mbps=request.sla.throughput_mbps,
-                max_delay_ms=budget,
-            )
-            # --- Transport ------------------------------------------------
-            try:
-                transport_alloc = self.transport.reserve_path(
-                    slice_id,
-                    network_slice.plmn.plmn_id,
-                    path_request,
-                    effective_fraction=effective_fraction,
-                )
-            except TransportError as exc:
-                last_error = exc
-                continue
-            # --- Cloud ----------------------------------------------------
-            try:
-                cloud_alloc = self.cloud.deploy(
-                    slice_id, epc_template(slice_id), dc.dc_id
-                )
-            except CloudError as exc:
-                self.transport.release_path(slice_id)
-                last_error = exc
-                continue
-            allocation = EndToEndAllocation(
-                ran=ran_alloc, transport=transport_alloc, cloud=cloud_alloc
-            )
-            if allocation.total_latency_ms > request.sla.max_latency_ms + 1e-9:
-                # Should not happen (budget math), but never hand out a
-                # latency-violating allocation.
-                self.cloud.teardown(slice_id)
-                self.transport.release_path(slice_id)
-                last_error = AllocationError(
-                    "orchestrator",
-                    f"allocation latency {allocation.total_latency_ms:.2f} ms "
-                    f"exceeds SLA {request.sla.max_latency_ms:.2f} ms",
-                )
-                continue
-            network_slice.allocation = allocation
-            return allocation
-        self.ran.remove_slice(slice_id)
-        domain = "transport" if isinstance(last_error, TransportError) else "cloud"
-        raise AllocationError(domain, str(last_error)) from last_error
-
-    def release(self, network_slice: NetworkSlice) -> None:
-        """Release the slice's resources in every domain (idempotent-ish:
-        domains missing the slice are skipped)."""
-        slice_id = network_slice.slice_id
-        if self.ran.serving_enb_of(slice_id) is not None:
-            self.ran.remove_slice(slice_id)
-        if self.transport.allocation_of(slice_id) is not None:
-            self.transport.release_path(slice_id)
-        if self.cloud.stack_of(slice_id) is not None:
-            self.cloud.teardown(slice_id)
-        network_slice.allocation = None
-
-    def modify_throughput(
-        self,
-        network_slice: NetworkSlice,
-        new_throughput_mbps: float,
-        effective_fraction: float = 1.0,
-    ) -> EndToEndAllocation:
-        """Tenant-requested scaling: re-dimension an active slice.
-
-        RAN and transport reservations are re-nominated in place (same
-        cell, same path); the vEPC is untouched.  Atomic across the two
-        domains: a transport failure rolls back the RAN change.
-
-        Raises:
-            AllocationError: If the slice is not allocated or the grown
-                reservation does not fit somewhere.
-        """
-        if network_slice.allocation is None:
-            raise AllocationError(
-                "orchestrator", f"slice {network_slice.slice_id} is not allocated"
-            )
-        if new_throughput_mbps <= 0:
-            raise AllocationError(
-                "orchestrator", f"throughput must be positive, got {new_throughput_mbps}"
-            )
-        slice_id = network_slice.slice_id
-        old = network_slice.allocation
-        old_throughput = old.transport.nominal_mbps
-        try:
-            ran_alloc = self.ran.modify_slice(
-                slice_id, new_throughput_mbps, effective_fraction
-            )
-        except RanConfigError as exc:
-            raise AllocationError("ran", str(exc)) from exc
-        try:
-            transport_alloc = self.transport.modify_bandwidth(
-                slice_id, new_throughput_mbps, effective_fraction
-            )
-        except TransportError as exc:
-            # Revert the RAN re-dimensioning.
-            self.ran.modify_slice(
-                slice_id,
-                old_throughput,
-                old.ran.effective_prbs / max(1, old.ran.nominal_prbs),
-            )
-            raise AllocationError("transport", str(exc)) from exc
-        allocation = EndToEndAllocation(
-            ran=ran_alloc, transport=transport_alloc, cloud=old.cloud
-        )
-        network_slice.allocation = allocation
-        return allocation
-
-    def resize(self, network_slice: NetworkSlice, effective_fraction: float) -> None:
-        """Apply a new overbooking shrinkage to an active slice.
-
-        Raises:
-            AllocationError: If the slice is not allocated or the resize
-                does not fit in some domain.
-        """
-        if network_slice.allocation is None:
-            raise AllocationError(
-                "orchestrator", f"slice {network_slice.slice_id} is not allocated"
-            )
-        if not 0.0 < effective_fraction <= 1.0:
-            raise AllocationError(
-                "orchestrator",
-                f"effective fraction must be in (0, 1], got {effective_fraction}",
-            )
-        allocation = network_slice.allocation
-        slice_id = network_slice.slice_id
-        new_prbs = max(1, round(allocation.ran.nominal_prbs * effective_fraction))
-        new_mbps = allocation.transport.nominal_mbps * effective_fraction
-        old_prbs = allocation.ran.effective_prbs
-        try:
-            self.ran.resize_slice(slice_id, new_prbs)
-        except RuntimeError as exc:  # RanConfigError or PrbError
-            raise AllocationError("resize", str(exc)) from exc
-        try:
-            self.transport.resize_path(slice_id, new_mbps)
-        except RuntimeError as exc:  # TransportError or LinkError
-            # Keep the two domains consistent: revert the RAN resize.
-            self.ran.resize_slice(slice_id, old_prbs)
-            raise AllocationError("resize", str(exc)) from exc
-        network_slice.allocation = EndToEndAllocation(
-            ran=RanAllocation(
-                enb_id=allocation.ran.enb_id,
-                nominal_prbs=allocation.ran.nominal_prbs,
-                effective_prbs=new_prbs,
-                latency_ms=allocation.ran.latency_ms,
-            ),
-            transport=self.transport.allocation_of(slice_id),
-            cloud=allocation.cloud,
-        )
 
 
 __all__ = ["AllocationError", "EndToEndAllocation", "MultiDomainAllocator"]

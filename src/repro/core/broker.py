@@ -105,7 +105,13 @@ class SliceBroker:
         return request.request_id
 
     def flush(self) -> List[AdmissionDecision]:
-        """Close the window: batch-decide and install/reject everything."""
+        """Close the window: batch-decide and install/reject everything.
+
+        Winners are installed as *one* concurrent batch through the
+        orchestrator's :class:`~repro.drivers.planner.BatchInstallPlanner`
+        — a window of N admitted slices deploys in roughly the time the
+        slowest single install takes, not the sum of all N.
+        """
         self._flush_armed = False
         if not self._queue:
             return []
@@ -122,34 +128,43 @@ class SliceBroker:
             )
         free = self.orchestrator.allocator.aggregate_free_vector()
         batch_decisions = self.policy.decide_batch(candidates, free)
-        outcomes: List[AdmissionDecision] = []
+        outcomes: List[Optional[AdmissionDecision]] = []
+        winners: List[Tuple[int, PendingRequest]] = []
         now = self.orchestrator.sim.now
-        for (pending, decision), (_, demand) in zip(
-            zip(batch, batch_decisions), candidates
+        for index, ((pending, decision), (_, demand)) in enumerate(
+            zip(zip(batch, batch_decisions), candidates)
         ):
             if not decision.admitted:
-                outcome = self.orchestrator.reject(pending.request, decision.reason)
-            else:
-                outcome = None
-                # Winners must still respect capacity promised to advance
-                # bookings ("upcoming requests", paper §2) — same check
-                # Orchestrator.submit applies online.
-                if self.orchestrator.config.respect_calendar:
-                    horizon = (
-                        now
-                        + pending.request.sla.duration_s
-                        + self.orchestrator.config.deploy_time_s
-                    )
-                    if not self.orchestrator.calendar.fits(demand, now, horizon):
-                        outcome = self.orchestrator.reject(
+                outcomes.append(
+                    self.orchestrator.reject(pending.request, decision.reason)
+                )
+                continue
+            # Winners must still respect capacity promised to advance
+            # bookings ("upcoming requests", paper §2) — same check
+            # Orchestrator.submit applies online.
+            if self.orchestrator.config.respect_calendar:
+                horizon = (
+                    now
+                    + pending.request.sla.duration_s
+                    + self.orchestrator.config.deploy_time_s
+                )
+                if not self.orchestrator.calendar.fits(demand, now, horizon):
+                    outcomes.append(
+                        self.orchestrator.reject(
                             pending.request,
                             "conflicts with advance reservations on the calendar",
                         )
-                if outcome is None:
-                    outcome = self.orchestrator.install_admitted(
-                        pending.request, pending.profile
                     )
-            outcomes.append(outcome)
+                    continue
+            outcomes.append(None)  # resolved by the batched install below
+            winners.append((index, pending))
+        if winners:
+            installed = self.orchestrator.install_admitted_batch(
+                [(pending.request, pending.profile) for _, pending in winners]
+            )
+            for (index, _), outcome in zip(winners, installed):
+                outcomes[index] = outcome
+        for pending, outcome in zip(batch, outcomes):
             if pending.on_decision is not None:
                 pending.on_decision(outcome)
         self.decisions.extend(outcomes)

@@ -60,6 +60,7 @@ from repro.drivers.base import (
     DriverError,
     Reservation,
 )
+from repro.drivers.planner import BatchInstallPlanner, InstallJob
 from repro.drivers.registry import DriverRegistry
 from repro.drivers.transaction import InstallTransaction, TransactionError
 from repro.core.forecasting import Forecaster, ForecastError, HoltWintersForecaster
@@ -82,6 +83,7 @@ from repro.epc.attach import AttachProcedure
 from repro.epc.instance import EpcInstance
 from repro.monitoring.collector import TelemetryCollector
 from repro.monitoring.metrics import MetricsRegistry
+from repro.ran.controller import PlannedCellLoad
 from repro.ran.ue import UserEquipment
 from repro.sim.engine import Simulator
 from repro.sim.processes import PeriodicProcess
@@ -117,6 +119,11 @@ class OrchestratorConfig:
             promise-breaking a myopic broker causes.
         event_log_capacity: Retention of the northbound event feed
             (``GET /v1/events``); oldest events are evicted beyond it.
+        install_workers: Thread-pool width of the concurrent batch
+            install planner (see :class:`~repro.drivers.planner.
+            BatchInstallPlanner`).
+        install_batch_size: Maximum installs one planner batch runs
+            concurrently; larger admission bursts are split.
     """
 
     monitoring_epoch_s: float = 60.0
@@ -129,6 +136,8 @@ class OrchestratorConfig:
     self_healing: bool = True
     respect_calendar: bool = True
     event_log_capacity: int = 1024
+    install_workers: int = 8
+    install_batch_size: int = 16
 
 
 @dataclass
@@ -160,6 +169,7 @@ class Orchestrator:
         config: Optional[OrchestratorConfig] = None,
         streams: Optional[RandomStreams] = None,
         registry: Optional[DriverRegistry] = None,
+        planner: Optional[BatchInstallPlanner] = None,
     ) -> None:
         self.sim = sim
         self.allocator = allocator
@@ -189,8 +199,19 @@ class Orchestrator:
         from repro.core.calendar import ResourceCalendar
 
         self.calendar = ResourceCalendar(allocator.aggregate_capacity_vector())
+        # Fleet-scale installs: admission bursts (broker windows, the
+        # epoch-drained admission queue) run through the concurrent
+        # batch planner instead of looping slice-by-slice.
+        self.planner = planner or BatchInstallPlanner(
+            self.registry,
+            max_workers=self.config.install_workers,
+            batch_size=self.config.install_batch_size,
+        )
         self._runtimes: Dict[str, SliceRuntime] = {}
         self._all_slices: Dict[str, NetworkSlice] = {}
+        #: (request, profile, optional decision callback) awaiting the
+        #: next batched install (drained every monitoring epoch).
+        self._admission_queue: List[Tuple[SliceRequest, TrafficProfile, Optional[Callable[[AdmissionDecision], None]]]] = []
         self._pending_advance: Dict[str, float] = {}  # request_id -> start_time
         # slice_id -> (slice, domains whose backend refused to release)
         self._stuck_releases: Dict[str, Tuple[NetworkSlice, List[str]]] = {}
@@ -354,58 +375,43 @@ class Orchestrator:
             slice_id=network_slice.slice_id,
         )
 
-    def install_admitted(
-        self, request: SliceRequest, profile: TrafficProfile
+    def _book_install_rejection(
+        self, network_slice: NetworkSlice, reason: str
     ) -> AdmissionDecision:
-        """Install a slice whose admission decision was already positive
-        (taken by :meth:`submit` or by an external batch broker).
-
-        The install can still fail on PLMN exhaustion or an allocation
-        race; such failures are booked as rejections.
-        """
-        network_slice = NetworkSlice(request)
-        self._all_slices[network_slice.slice_id] = network_slice
-        fraction = self.cold_start_fraction(request)
-        # PLMN mapping (MOCN): a slice cannot exist without an identity.
-        try:
-            plmn = self.plmn_pool.allocate(network_slice.slice_id)
-        except PlmnPoolExhausted as exc:
-            network_slice.transition(SliceState.REJECTED, self.sim.now)
-            self.ledger.book_rejection(request, str(exc), self.sim.now)
-            self.events.emit(
-                self.sim.now,
-                "slice.rejected",
-                slice_id=network_slice.slice_id,
-                tenant_id=request.tenant_id,
-                reason=str(exc),
-            )
-            return AdmissionDecision(
-                request_id=request.request_id,
-                admitted=False,
-                reason=str(exc),
-                slice_id=network_slice.slice_id,
-            )
-        network_slice.plmn = plmn
-        try:
-            reservations = self._install_via_drivers(network_slice, fraction)
-        except TransactionError as exc:
+        """Bookkeeping for an install that failed after admission said
+        yes: free the PLMN (if held), record the rejection, emit the
+        event."""
+        request = network_slice.request
+        if network_slice.plmn is not None:
             self.plmn_pool.release(network_slice.slice_id)
             network_slice.plmn = None
-            network_slice.transition(SliceState.REJECTED, self.sim.now)
-            self.ledger.book_rejection(request, str(exc), self.sim.now)
-            self.events.emit(
-                self.sim.now,
-                "slice.rejected",
-                slice_id=network_slice.slice_id,
-                tenant_id=request.tenant_id,
-                reason=str(exc),
-            )
-            return AdmissionDecision(
-                request_id=request.request_id,
-                admitted=False,
-                reason=str(exc),
-                slice_id=network_slice.slice_id,
-            )
+        network_slice.transition(SliceState.REJECTED, self.sim.now)
+        self.ledger.book_rejection(request, reason, self.sim.now)
+        self.events.emit(
+            self.sim.now,
+            "slice.rejected",
+            slice_id=network_slice.slice_id,
+            tenant_id=request.tenant_id,
+            reason=reason,
+        )
+        return AdmissionDecision(
+            request_id=request.request_id,
+            admitted=False,
+            reason=reason,
+            slice_id=network_slice.slice_id,
+        )
+
+    def _finalize_install(
+        self,
+        network_slice: NetworkSlice,
+        profile: TrafficProfile,
+        fraction: float,
+        reservations: Dict[str, Reservation],
+    ) -> AdmissionDecision:
+        """Post-install bookkeeping shared by the sequential and batched
+        paths: state transitions, ledger, events, calendar, runtime and
+        the deferred activation."""
+        request = network_slice.request
         network_slice.transition(SliceState.ADMITTED, self.sim.now)
         self.ledger.book_admission(network_slice.slice_id, request)
         self.events.emit(
@@ -435,6 +441,8 @@ class Orchestrator:
         epc_reservation = reservations.get("epc")
         if epc_reservation is not None:
             runtime.epc = epc_reservation.details.get("instance")
+        if network_slice.allocation is None:
+            network_slice.allocation = self._compose_allocation(reservations)
         self._runtimes[network_slice.slice_id] = runtime
         network_slice.transition(SliceState.DEPLOYING, self.sim.now)
         self.sim.schedule(
@@ -449,6 +457,183 @@ class Orchestrator:
             expected_value=request.price,
             slice_id=network_slice.slice_id,
         )
+
+    def install_admitted(
+        self, request: SliceRequest, profile: TrafficProfile
+    ) -> AdmissionDecision:
+        """Install a slice whose admission decision was already positive
+        (taken by :meth:`submit` or by an external batch broker).
+
+        The install can still fail on PLMN exhaustion or an allocation
+        race; such failures are booked as rejections.
+        """
+        network_slice = NetworkSlice(request)
+        self._all_slices[network_slice.slice_id] = network_slice
+        fraction = self.cold_start_fraction(request)
+        # PLMN mapping (MOCN): a slice cannot exist without an identity.
+        try:
+            network_slice.plmn = self.plmn_pool.allocate(network_slice.slice_id)
+        except PlmnPoolExhausted as exc:
+            return self._book_install_rejection(network_slice, str(exc))
+        try:
+            reservations = self._install_via_drivers(network_slice, fraction)
+        except TransactionError as exc:
+            return self._book_install_rejection(network_slice, str(exc))
+        return self._finalize_install(network_slice, profile, fraction, reservations)
+
+    def enqueue_admitted(
+        self,
+        request: SliceRequest,
+        profile: TrafficProfile,
+        on_decision: Optional[Callable[[AdmissionDecision], None]] = None,
+    ) -> None:
+        """Queue an already-admitted request for the next batched
+        install — the monitoring-epoch loop drains the queue through the
+        concurrent :class:`~repro.drivers.planner.BatchInstallPlanner`
+        instead of installing slice-by-slice.  ``on_decision`` (if any)
+        fires with the final install outcome when the batch lands."""
+        self._admission_queue.append((request, profile, on_decision))
+
+    @property
+    def pending_installs(self) -> int:
+        """Admitted requests queued for the next batched install."""
+        return len(self._admission_queue)
+
+    def _drain_admission_queue(self) -> None:
+        """Monitoring-epoch drain: batch-install everything queued."""
+        if not self._admission_queue:
+            return
+        queued, self._admission_queue = self._admission_queue, []
+        decisions = self.install_admitted_batch(
+            [(request, profile) for request, profile, _ in queued]
+        )
+        for (_, _, on_decision), decision in zip(queued, decisions):
+            if on_decision is not None:
+                on_decision(decision)
+
+    def install_admitted_batch(
+        self, admissions: List[Tuple[SliceRequest, TrafficProfile]]
+    ) -> List[AdmissionDecision]:
+        """Install a *batch* of already-admitted slices concurrently.
+
+        Placement planning (PLMN identity, ingress cell, candidate DCs)
+        runs sequentially on the calling thread against a point-in-time
+        capacity snapshot; the southbound prepare/commit work — where a
+        real deployment spends its seconds — then runs through the
+        concurrent batch planner.  Two jobs planned onto the same scarce
+        resource race like any concurrent installer's would: the loser's
+        prepare fails, its job unwinds with zero residue, and the slice
+        is booked as rejected (the same contract the aggregate batch
+        admission already documents).
+
+        Decisions are returned in submission order; rollback events are
+        emitted only for installs that ultimately failed, matching the
+        sequential path's deferred-rollback semantics.
+        """
+        results: List[Optional[AdmissionDecision]] = [None] * len(admissions)
+        jobs: List[InstallJob] = []
+        staged: Dict[int, Tuple[NetworkSlice, TrafficProfile, float]] = {}
+        # Every job is planned against one capacity snapshot, so picks
+        # must see the load the earlier picks staged (otherwise a burst
+        # of winners all pins the same "best" cell and the losers fail
+        # at prepare time instead of spreading across the fleet).
+        planned_cells: Dict[str, PlannedCellLoad] = {}
+        for index, (request, profile) in enumerate(admissions):
+            network_slice = NetworkSlice(request)
+            self._all_slices[network_slice.slice_id] = network_slice
+            fraction = self.cold_start_fraction(request)
+            try:
+                network_slice.plmn = self.plmn_pool.allocate(network_slice.slice_id)
+            except PlmnPoolExhausted as exc:
+                results[index] = self._book_install_rejection(network_slice, str(exc))
+                continue
+            try:
+                attempts = self._plan_install_attempts(
+                    network_slice, fraction, planned_cells=planned_cells
+                )
+            except TransactionError as exc:
+                results[index] = self._book_install_rejection(network_slice, str(exc))
+                continue
+            staged[index] = (network_slice, profile, fraction)
+            jobs.append(
+                InstallJob(
+                    slice_id=network_slice.slice_id,
+                    attempts=attempts,
+                    validate=(
+                        lambda reservations, ns=network_slice: self._validate_latency(
+                            ns, reservations
+                        )
+                    ),
+                    tag=index,
+                )
+            )
+        for outcome in self.planner.install(jobs):
+            index = outcome.job.tag
+            network_slice, profile, fraction = staged[index]
+            if outcome.ok:
+                results[index] = self._finalize_install(
+                    network_slice, profile, fraction, outcome.reservations
+                )
+            else:
+                # Surface the failed install's unwinds on the feed (the
+                # planner withheld rollbacks of retried-then-successful
+                # attempts, per the deferred-rollback contract).
+                for domain, reservation, reason in outcome.rollbacks:
+                    self._emit_rollback(domain, reservation, reason)
+                results[index] = self._book_install_rejection(
+                    network_slice, str(outcome.error)
+                )
+        assert all(decision is not None for decision in results)
+        return results  # type: ignore[return-value]
+
+    def _plan_install_attempts(
+        self,
+        network_slice: NetworkSlice,
+        fraction: float,
+        planned_cells: Optional[Dict[str, PlannedCellLoad]] = None,
+    ) -> List[Dict[str, DomainSpec]]:
+        """Placement pre-work for one batched install: probe the ingress
+        cell, rank candidate DCs, and build one full spec-map attempt
+        per candidate (the batch planner re-prepares everything per
+        attempt, so no prefix/suffix split is needed).
+
+        Args:
+            planned_cells: Shared batch placement ledger; the pick made
+                here is recorded into it so later jobs in the same batch
+                see the staged load.
+
+        Raises:
+            TransactionError: When planning already rules the slice out
+                (no cell, no feasible DC).
+        """
+        request = network_slice.request
+        slice_id = network_slice.slice_id
+        try:
+            demand = self.allocator.demand_vector(request)
+        except AllocationError as exc:
+            raise TransactionError(exc.domain, exc.message) from exc
+        effective_prbs = max(1, round(demand.prbs * fraction))
+        enb_id = self.allocator.ran.best_enb_for(
+            request.sla.throughput_mbps, effective_prbs, planned=planned_cells
+        )
+        if enb_id is None:
+            raise TransactionError(
+                "ran", f"no eNB can host {effective_prbs} PRBs for slice {slice_id}"
+            )
+        enb_node = self.allocator.ran.enb(enb_id).transport_node
+        candidates = self.allocator.candidate_datacenters(request, enb_node)
+        if not candidates:
+            raise TransactionError(
+                "cloud", f"no datacenter satisfies compute + latency for {slice_id}"
+            )
+        if planned_cells is not None:
+            planned_cells.setdefault(enb_id, PlannedCellLoad()).add(effective_prbs)
+        return [
+            self._install_specs(
+                network_slice, fraction, enb_id, enb_node, dc, demand=demand
+            )
+            for dc in candidates
+        ]
 
     # ------------------------------------------------------------------
     # Southbound driver plumbing
@@ -1055,6 +1240,9 @@ class Orchestrator:
     def _monitoring_epoch(self) -> None:
         self._epoch_counter += 1
         now = self.sim.now
+        # Fleet-scale installs: drain everything admitted since the last
+        # epoch through the concurrent batch planner in one go.
+        self._drain_admission_queue()
         if self._stuck_releases:
             self._retry_stuck_releases()
         active = {
@@ -1297,6 +1485,12 @@ class Orchestrator:
             "southbound": {
                 "domains": self.registry.domains(),
                 "capabilities": self.registry.capabilities(),
+                "planner": {
+                    "batches_run": self.planner.batches_run,
+                    "jobs_installed": self.planner.jobs_installed,
+                    "jobs_failed": self.planner.jobs_failed,
+                    "pending_installs": self.pending_installs,
+                },
             },
             "domains": {
                 "ran": ran_util,

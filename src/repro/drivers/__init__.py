@@ -10,10 +10,14 @@ domain backend:
   pluggable mapping of domain name → driver.
 - :mod:`repro.drivers.transaction` — :class:`InstallTransaction`, the
   two-phase prepare/commit coordinator with automatic rollback.
+- :mod:`repro.drivers.planner` — :class:`BatchInstallPlanner`, the
+  concurrent (fleet-scale) install engine running batches of install
+  jobs over a thread pool with per-driver concurrency caps.
 - :mod:`repro.drivers.adapters` — drivers wrapping the simulator's RAN,
   transport, cloud and vEPC controllers (+ the default registry).
 - :mod:`repro.drivers.mock` — an in-memory backend used as the
-  conformance reference and for failure injection.
+  conformance reference, for failure injection, and as the thread-safe
+  concurrency harness.
 """
 
 from repro.drivers.base import (
@@ -27,6 +31,7 @@ from repro.drivers.base import (
 )
 from repro.drivers.registry import DriverRegistry
 from repro.drivers.transaction import InstallTransaction, TransactionError
+from repro.drivers.planner import BatchInstallPlanner, InstallJob, InstallOutcome
 from repro.drivers.adapters import (
     CloudDriver,
     EpcDriver,
@@ -38,6 +43,7 @@ from repro.drivers.mock import MockDriver, NullDriver
 
 __all__ = [
     "BaseDriver",
+    "BatchInstallPlanner",
     "CloudDriver",
     "DomainDriver",
     "DomainSpec",
@@ -45,6 +51,8 @@ __all__ = [
     "DriverError",
     "DriverRegistry",
     "EpcDriver",
+    "InstallJob",
+    "InstallOutcome",
     "InstallTransaction",
     "MockDriver",
     "NullDriver",

@@ -18,10 +18,22 @@ release (``capabilities().transactional`` is False); ``commit`` is a
 bookkeeping step.  :func:`build_default_registry` wires all four in
 install order — the registry any alternative backend (or an injected
 :class:`~repro.drivers.mock.MockDriver`) extends.
+
+None of the simulator controllers is thread-safe either, so every
+adapter declares ``max_concurrent_installs=1``: under the concurrent
+batch planner, :class:`~repro.drivers.base.BaseDriver` then serializes
+each adapter's lifecycle calls.  The cloud and EPC adapters touch the
+*same* controller (the EPC binds to the stack the cloud deployed), so
+:func:`build_default_registry` hands them one shared serialization
+lock — the per-controller half of the locking discipline.  The EPC
+adapter additionally declares ``prepare_after=("cloud",)``: within one
+install its prepare runs only after the cloud stack exists, while the
+other domains prepare in parallel.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Optional
 
 from repro.cloud.controller import CloudController
@@ -53,8 +65,12 @@ class RanDriver(BaseDriver):
 
     domain = "ran"
 
-    def __init__(self, controller: RanController) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        controller: RanController,
+        serial_lock: Optional[threading.RLock] = None,
+    ) -> None:
+        super().__init__(serial_lock=serial_lock)
         self.controller = controller
 
     def capabilities(self) -> DriverCapabilities:
@@ -162,8 +178,12 @@ class TransportDriver(BaseDriver):
 
     domain = "transport"
 
-    def __init__(self, controller: TransportController) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        controller: TransportController,
+        serial_lock: Optional[threading.RLock] = None,
+    ) -> None:
+        super().__init__(serial_lock=serial_lock)
         self.controller = controller
 
     def capabilities(self) -> DriverCapabilities:
@@ -314,8 +334,12 @@ class CloudDriver(BaseDriver):
 
     domain = "cloud"
 
-    def __init__(self, controller: CloudController) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        controller: CloudController,
+        serial_lock: Optional[threading.RLock] = None,
+    ) -> None:
+        super().__init__(serial_lock=serial_lock)
         self.controller = controller
 
     def capabilities(self) -> DriverCapabilities:
@@ -393,13 +417,19 @@ class EpcDriver(BaseDriver):
 
     domain = "epc"
 
-    def __init__(self, stack_lookup: Callable[[str], Optional[HeatStack]]) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        stack_lookup: Callable[[str], Optional[HeatStack]],
+        serial_lock: Optional[threading.RLock] = None,
+    ) -> None:
+        super().__init__(serial_lock=serial_lock)
         self.stack_lookup = stack_lookup
         self._instances: Dict[str, EpcInstance] = {}
 
     def capabilities(self) -> DriverCapabilities:
-        return DriverCapabilities(domain=self.domain)
+        # The vEPC binds to the cloud stack, so within one install its
+        # prepare must wait for the cloud domain's prepare to land.
+        return DriverCapabilities(domain=self.domain, prepare_after=("cloud",))
 
     def feasible(self, spec: DomainSpec) -> bool:
         return spec.attributes.get("plmn_id") is not None
@@ -468,12 +498,26 @@ def build_default_registry(allocator: Any) -> DriverRegistry:
     in practice).  Registration order is install order: RAN pins the
     ingress, transport reaches the DC, cloud hosts the stack, EPC binds
     to it.
+
+    Each adapter serializes on *its controller's own lock* (the
+    per-controller half of the locking discipline), so a direct caller
+    honouring ``controller.lock`` and the drivers never interleave.
+    The cloud and EPC drivers share the cloud controller's lock because
+    they drive the same backend (the EPC's ``stack_lookup`` reads the
+    stacks the cloud driver deploys); under the concurrent batch
+    planner that controller therefore sees one caller at a time.
     """
     registry = DriverRegistry()
-    registry.register(RanDriver(allocator.ran))
-    registry.register(TransportDriver(allocator.transport))
-    registry.register(CloudDriver(allocator.cloud))
-    registry.register(EpcDriver(allocator.cloud.stack_of))
+    registry.register(RanDriver(allocator.ran, serial_lock=allocator.ran.lock))
+    registry.register(
+        TransportDriver(allocator.transport, serial_lock=allocator.transport.lock)
+    )
+    registry.register(
+        CloudDriver(allocator.cloud, serial_lock=allocator.cloud.lock)
+    )
+    registry.register(
+        EpcDriver(allocator.cloud.stack_of, serial_lock=allocator.cloud.lock)
+    )
     return registry
 
 

@@ -31,10 +31,12 @@ state machine so concrete drivers only write the five ``_do_*`` hooks.
 from __future__ import annotations
 
 import abc
+import contextlib
 import enum
 import itertools
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, ContextManager, Dict, List, Optional, Set, Tuple
 
 
 class DriverError(RuntimeError):
@@ -135,6 +137,19 @@ class DriverCapabilities:
             re-establish a degraded slice (self-healing loop).
         transactional: True when the backend has *native* two-phase
             semantics; False when ``rollback`` is compensating.
+        max_concurrent_installs: How many install operations the backend
+            can absorb *simultaneously*.  ``1`` (the default) declares a
+            serial backend: :class:`BaseDriver` then holds its
+            serialization lock across every lifecycle call, so wrapping
+            a non-thread-safe controller stays safe under the concurrent
+            batch planner.  A driver declaring ``> 1`` promises its
+            ``_do_*`` hooks are thread-safe; the planner bounds its
+            in-flight operations with a semaphore of this size.
+        prepare_after: Domains whose ``prepare`` must complete before
+            this one's can start within a single install (e.g. the vEPC
+            binding needs the cloud stack to exist).  The batch planner
+            turns this into prepare *waves*; domains with no dependency
+            between them are prepared in parallel.
     """
 
     domain: str
@@ -142,6 +157,8 @@ class DriverCapabilities:
     supports_resize: bool = False
     supports_repair: bool = False
     transactional: bool = False
+    max_concurrent_installs: int = 1
+    prepare_after: Tuple[str, ...] = ()
 
 
 class DomainDriver(abc.ABC):
@@ -236,11 +253,53 @@ class BaseDriver(DomainDriver):
     - ``commit``/``rollback`` only accept PREPARED reservations,
     - ``release`` only accepts COMMITTED slices (but tolerates slices
       installed out-of-band on the backend, for legacy callers).
+
+    Locking discipline (the batch planner drives drivers from a thread
+    pool):
+
+    - ``_lock`` guards the reservation table and the in-flight set; it
+      is held only around bookkeeping, never across a backend call.
+    - ``_serial_lock`` is held across the *whole* lifecycle operation —
+      including the ``_do_*`` backend call — whenever the driver
+      declares ``max_concurrent_installs == 1``.  Drivers wrapping one
+      shared backend (cloud + EPC over one controller) may be handed
+      the same lock so the controller sees one caller at a time.
+    - Drivers declaring ``max_concurrent_installs > 1`` run their
+      ``_do_*`` hooks without the serialization lock and must make them
+      thread-safe; per-slice races are still excluded by the in-flight
+      set (a second concurrent prepare/commit/release of the same slice
+      fails fast instead of corrupting the record).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, serial_lock: Optional[threading.RLock] = None) -> None:
         self._reservations: Dict[str, Reservation] = {}
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._serial_lock = serial_lock or threading.RLock()
+        self._in_flight: Set[str] = set()
+
+    def _backend_guard(self) -> ContextManager:
+        """The context held across a lifecycle operation: the shared
+        serialization lock for serial backends, nothing for backends
+        that declared concurrent capacity."""
+        if self.capabilities().max_concurrent_installs <= 1:
+            return self._serial_lock
+        return contextlib.nullcontext()
+
+    def _claim(self, slice_id: str, operation: str) -> None:
+        """Mark ``slice_id`` as having a lifecycle call in flight (call
+        under ``_lock``); a concurrent second call fails fast."""
+        if slice_id in self._in_flight:
+            raise DriverError(
+                self.domain,
+                f"slice {slice_id} already has an operation in flight "
+                f"(refusing concurrent {operation})",
+            )
+        self._in_flight.add(slice_id)
+
+    def _unclaim(self, slice_id: str) -> None:
+        with self._lock:
+            self._in_flight.discard(slice_id)
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -274,105 +333,145 @@ class BaseDriver(DomainDriver):
     # ------------------------------------------------------------------
     def reservation_of(self, slice_id: str) -> Optional[Reservation]:
         """The live (PREPARED/COMMITTED) reservation for a slice."""
-        return self._reservations.get(slice_id)
+        with self._lock:
+            return self._reservations.get(slice_id)
 
     def reservations(self) -> List[Reservation]:
-        """All live reservations."""
-        return list(self._reservations.values())
+        """All live reservations (point-in-time snapshot)."""
+        with self._lock:
+            return list(self._reservations.values())
 
     def prepare(self, spec: DomainSpec) -> Reservation:
-        existing = self._reservations.get(spec.slice_id)
-        if existing is not None:
-            if self._native_present(spec.slice_id):
-                raise DriverError(
-                    self.domain,
-                    f"slice {spec.slice_id} already holds a reservation",
-                )
-            # Backend state vanished out-of-band (legacy release path) —
-            # drop the stale record and re-prepare.
-            del self._reservations[spec.slice_id]
-        details = self._do_prepare(spec)
-        reservation = Reservation(
-            reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
-            domain=self.domain,
-            slice_id=spec.slice_id,
-            spec=spec,
-            state=ReservationState.PREPARED,
-            details=details,
-        )
-        self._reservations[spec.slice_id] = reservation
-        return reservation
+        with self._backend_guard():
+            with self._lock:
+                existing = self._reservations.get(spec.slice_id)
+                if existing is not None:
+                    if self._native_present(spec.slice_id):
+                        raise DriverError(
+                            self.domain,
+                            f"slice {spec.slice_id} already holds a reservation",
+                        )
+                    # Backend state vanished out-of-band (legacy release
+                    # path) — drop the stale record and re-prepare.
+                    del self._reservations[spec.slice_id]
+                self._claim(spec.slice_id, "prepare")
+            try:
+                details = self._do_prepare(spec)
+                with self._lock:
+                    reservation = Reservation(
+                        reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
+                        domain=self.domain,
+                        slice_id=spec.slice_id,
+                        spec=spec,
+                        state=ReservationState.PREPARED,
+                        details=details,
+                    )
+                    self._reservations[spec.slice_id] = reservation
+            finally:
+                self._unclaim(spec.slice_id)
+            return reservation
 
     def commit(self, reservation: Reservation) -> None:
         self._check_owned(reservation)
-        if reservation.state is not ReservationState.PREPARED:
-            raise DriverError(
-                self.domain,
-                f"cannot commit reservation in state {reservation.state.value}",
-            )
-        self._do_commit(reservation)
-        reservation.state = ReservationState.COMMITTED
+        with self._backend_guard():
+            with self._lock:
+                if reservation.state is not ReservationState.PREPARED:
+                    raise DriverError(
+                        self.domain,
+                        f"cannot commit reservation in state {reservation.state.value}",
+                    )
+                self._claim(reservation.slice_id, "commit")
+            try:
+                self._do_commit(reservation)
+                reservation.state = ReservationState.COMMITTED
+            finally:
+                self._unclaim(reservation.slice_id)
 
     def rollback(self, reservation: Reservation) -> None:
         self._check_owned(reservation)
-        if reservation.state is not ReservationState.PREPARED:
-            raise DriverError(
-                self.domain,
-                f"cannot roll back reservation in state {reservation.state.value}",
-            )
-        self._do_rollback(reservation)
-        reservation.state = ReservationState.ROLLED_BACK
-        self._reservations.pop(reservation.slice_id, None)
+        with self._backend_guard():
+            with self._lock:
+                if reservation.state is not ReservationState.PREPARED:
+                    raise DriverError(
+                        self.domain,
+                        f"cannot roll back reservation in state {reservation.state.value}",
+                    )
+                self._claim(reservation.slice_id, "rollback")
+            try:
+                self._do_rollback(reservation)
+                with self._lock:
+                    reservation.state = ReservationState.ROLLED_BACK
+                    self._reservations.pop(reservation.slice_id, None)
+            finally:
+                self._unclaim(reservation.slice_id)
 
     def release(self, slice_id: str) -> None:
-        reservation = self._reservations.get(slice_id)
-        if reservation is None:
-            # Installed out-of-band (legacy allocator path) — free the
-            # backend state if any, else report the miss.
-            if not self._native_present(slice_id):
-                raise DriverAbsentError(
-                    self.domain, f"slice {slice_id} holds nothing"
-                )
-            self._do_release(slice_id)
-            return
-        if reservation.state is not ReservationState.COMMITTED:
-            raise DriverError(
-                self.domain,
-                f"cannot release reservation in state {reservation.state.value}",
-            )
-        if not self._native_present(slice_id):
-            # Backend state vanished out-of-band — just drop the record.
-            del self._reservations[slice_id]
-            reservation.state = ReservationState.RELEASED
-            return
-        # Free the backend *first*: if it fails, the reservation stays
-        # COMMITTED so the caller can retry instead of stranding the
-        # backend's capacity behind a forgotten record.
-        self._do_release(slice_id)
-        del self._reservations[slice_id]
-        reservation.state = ReservationState.RELEASED
+        with self._backend_guard():
+            with self._lock:
+                reservation = self._reservations.get(slice_id)
+                if reservation is None:
+                    # Installed out-of-band (legacy allocator path) — free
+                    # the backend state if any, else report the miss.
+                    if not self._native_present(slice_id):
+                        raise DriverAbsentError(
+                            self.domain, f"slice {slice_id} holds nothing"
+                        )
+                else:
+                    if reservation.state is not ReservationState.COMMITTED:
+                        raise DriverError(
+                            self.domain,
+                            f"cannot release reservation in state "
+                            f"{reservation.state.value}",
+                        )
+                    if not self._native_present(slice_id):
+                        # Backend state vanished out-of-band — just drop
+                        # the record.
+                        del self._reservations[slice_id]
+                        reservation.state = ReservationState.RELEASED
+                        return
+                self._claim(slice_id, "release")
+            # Free the backend *first*: if it fails, the reservation stays
+            # COMMITTED so the caller can retry instead of stranding the
+            # backend's capacity behind a forgotten record.
+            try:
+                self._do_release(slice_id)
+                if reservation is not None:
+                    with self._lock:
+                        self._reservations.pop(slice_id, None)
+                        reservation.state = ReservationState.RELEASED
+            finally:
+                self._unclaim(slice_id)
 
     def resize(self, slice_id: str, spec: DomainSpec) -> Reservation:
         if not self.capabilities().supports_resize:
             raise DriverError(self.domain, "driver does not support resize")
-        reservation = self._reservations.get(slice_id)
-        if reservation is None and not self._native_present(slice_id):
-            raise DriverAbsentError(self.domain, f"slice {slice_id} holds nothing")
-        details = self._do_resize(slice_id, spec, reservation)
-        if reservation is None:
-            reservation = Reservation(
-                reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
-                domain=self.domain,
-                slice_id=slice_id,
-                spec=spec,
-                state=ReservationState.COMMITTED,
-                details=details,
-            )
-            self._reservations[slice_id] = reservation
-        else:
-            reservation.spec = spec
-            reservation.details.update(details)
-        return reservation
+        with self._backend_guard():
+            with self._lock:
+                reservation = self._reservations.get(slice_id)
+                if reservation is None and not self._native_present(slice_id):
+                    raise DriverAbsentError(
+                        self.domain, f"slice {slice_id} holds nothing"
+                    )
+                self._claim(slice_id, "resize")
+            try:
+                details = self._do_resize(slice_id, spec, reservation)
+                with self._lock:
+                    if reservation is None:
+                        reservation = Reservation(
+                            reservation_id=f"{self.domain}-res-{next(self._ids):06d}",
+                            domain=self.domain,
+                            slice_id=slice_id,
+                            spec=spec,
+                            state=ReservationState.COMMITTED,
+                            details=details,
+                        )
+                        self._reservations[slice_id] = reservation
+                    else:
+                        reservation.spec = spec
+                        reservation.details.update(details)
+            finally:
+                self._unclaim(slice_id)
+            return reservation
 
     def health(self, slice_id: str) -> Dict[str, Any]:
         if self.reservation_of(slice_id) is None and not self._native_present(slice_id):

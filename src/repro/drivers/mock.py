@@ -1,6 +1,6 @@
 """In-memory mock backend honouring the full driver contract.
 
-Two uses:
+Three uses:
 
 1. **Conformance reference** — the driver conformance suite runs the
    identical contract tests against :class:`MockDriver` and the four
@@ -10,6 +10,14 @@ Two uses:
    let tests (and chaos experiments) break the install transaction at a
    chosen domain and verify the rollback discipline leaves zero
    residue in the other domains.
+3. **Concurrency harness** — the mock declares
+   ``max_concurrent_installs > 1`` and implements thread-safe hooks, so
+   the batch planner's parallel prepare path (and the concurrency
+   conformance suite) can hammer it from a thread pool.  The
+   ``*_latency_s`` knobs emulate the southbound RPC time a real
+   controller would cost; the sleep happens *outside* the pool lock, so
+   concurrent operations genuinely overlap (this is what the batched
+   install benchmarks measure).
 
 Capacity is a single scalar pool accounted in ``throughput_mbps``
 (``effective_fraction`` applied), which is enough to exercise both the
@@ -18,6 +26,8 @@ Capacity is a single scalar pool accounted in ``throughput_mbps``
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any, Dict, Optional
 
 from repro.drivers.base import (
@@ -36,10 +46,23 @@ class MockDriver(BaseDriver):
         self,
         domain: str = "mock",
         capacity_mbps: float = 1_000.0,
+        max_concurrent_installs: int = 4,
+        prepare_latency_s: float = 0.0,
+        commit_latency_s: float = 0.0,
+        release_latency_s: float = 0.0,
+        prepare_after: tuple = (),
     ) -> None:
         super().__init__()
         self.domain = domain
         self.capacity_mbps = float(capacity_mbps)
+        self.max_concurrent_installs = int(max_concurrent_installs)
+        self.prepare_latency_s = float(prepare_latency_s)
+        self.commit_latency_s = float(commit_latency_s)
+        self.release_latency_s = float(release_latency_s)
+        self.prepare_after = tuple(prepare_after)
+        #: Guards the capacity pool, the counters and the injection
+        #: knobs — *not* held while sleeping, so concurrency overlaps.
+        self._pool_lock = threading.RLock()
         self._held: Dict[str, float] = {}  # slice_id -> held mbps
         #: Remaining prepare calls to fail (failure injection).
         self.fail_next_prepare = 0
@@ -61,12 +84,15 @@ class MockDriver(BaseDriver):
             resource_units=("mbps",),
             supports_resize=True,
             supports_repair=True,
+            max_concurrent_installs=self.max_concurrent_installs,
+            prepare_after=self.prepare_after,
         )
 
     @property
     def held_mbps(self) -> float:
         """Total capacity currently held or committed."""
-        return sum(self._held.values())
+        with self._pool_lock:
+            return sum(self._held.values())
 
     def _demand(self, spec: DomainSpec) -> float:
         return spec.throughput_mbps * spec.effective_fraction
@@ -75,55 +101,67 @@ class MockDriver(BaseDriver):
         return self._demand(spec) <= self.capacity_mbps - self.held_mbps + 1e-9
 
     def _do_prepare(self, spec: DomainSpec) -> Dict[str, Any]:
-        self.prepares += 1
-        if self.fail_next_prepare > 0:
-            self.fail_next_prepare -= 1
-            raise DriverError(self.domain, "injected prepare failure")
-        demand = self._demand(spec)
-        if not self.feasible(spec):
-            raise DriverError(
-                self.domain,
-                f"{demand:.1f} Mb/s requested but only "
-                f"{self.capacity_mbps - self.held_mbps:.1f} free",
-            )
-        self._held[spec.slice_id] = demand
-        return {"held_mbps": demand}
+        if self.prepare_latency_s > 0:
+            time.sleep(self.prepare_latency_s)
+        with self._pool_lock:
+            self.prepares += 1
+            if self.fail_next_prepare > 0:
+                self.fail_next_prepare -= 1
+                raise DriverError(self.domain, "injected prepare failure")
+            demand = self._demand(spec)
+            free = self.capacity_mbps - sum(self._held.values())
+            if demand > free + 1e-9:
+                raise DriverError(
+                    self.domain,
+                    f"{demand:.1f} Mb/s requested but only {free:.1f} free",
+                )
+            self._held[spec.slice_id] = demand
+            return {"held_mbps": demand}
 
     def _do_commit(self, reservation: Reservation) -> None:
-        self.commits += 1
-        if self.fail_next_commit > 0:
-            self.fail_next_commit -= 1
-            # The failed commit loses the hold; the reservation stays
-            # PREPARED so the transaction's unwind rolls it back.
-            self._held.pop(reservation.slice_id, None)
-            raise DriverError(self.domain, "injected commit failure")
+        if self.commit_latency_s > 0:
+            time.sleep(self.commit_latency_s)
+        with self._pool_lock:
+            self.commits += 1
+            if self.fail_next_commit > 0:
+                self.fail_next_commit -= 1
+                # The failed commit loses the hold; the reservation stays
+                # PREPARED so the transaction's unwind rolls it back.
+                self._held.pop(reservation.slice_id, None)
+                raise DriverError(self.domain, "injected commit failure")
 
     def _native_present(self, slice_id: str) -> bool:
-        return slice_id in self._held
+        with self._pool_lock:
+            return slice_id in self._held
 
     def _do_rollback(self, reservation: Reservation) -> None:
-        self.rollbacks += 1
-        self._held.pop(reservation.slice_id, None)
+        with self._pool_lock:
+            self.rollbacks += 1
+            self._held.pop(reservation.slice_id, None)
 
     def _do_release(self, slice_id: str) -> None:
-        self.releases += 1
-        if self.fail_next_release > 0:
-            self.fail_next_release -= 1
-            raise DriverError(self.domain, "injected release failure")
-        if slice_id not in self._held:
-            raise DriverError(self.domain, f"slice {slice_id} holds nothing")
-        del self._held[slice_id]
+        if self.release_latency_s > 0:
+            time.sleep(self.release_latency_s)
+        with self._pool_lock:
+            self.releases += 1
+            if self.fail_next_release > 0:
+                self.fail_next_release -= 1
+                raise DriverError(self.domain, "injected release failure")
+            if slice_id not in self._held:
+                raise DriverError(self.domain, f"slice {slice_id} holds nothing")
+            del self._held[slice_id]
 
     def _do_resize(self, slice_id: str, spec: DomainSpec,
                    reservation: Optional[Reservation]) -> Dict[str, Any]:
-        if slice_id not in self._held:
-            raise DriverError(self.domain, f"slice {slice_id} holds nothing")
-        new_demand = self._demand(spec)
-        others = self.held_mbps - self._held[slice_id]
-        if others + new_demand > self.capacity_mbps + 1e-9:
-            raise DriverError(self.domain, "resize does not fit")
-        self._held[slice_id] = new_demand
-        return {"held_mbps": new_demand}
+        with self._pool_lock:
+            if slice_id not in self._held:
+                raise DriverError(self.domain, f"slice {slice_id} holds nothing")
+            new_demand = self._demand(spec)
+            others = sum(self._held.values()) - self._held[slice_id]
+            if others + new_demand > self.capacity_mbps + 1e-9:
+                raise DriverError(self.domain, "resize does not fit")
+            self._held[slice_id] = new_demand
+            return {"held_mbps": new_demand}
 
     def repair(self, slice_id: str) -> Reservation:
         reservation = self.reservation_of(slice_id)
@@ -132,12 +170,13 @@ class MockDriver(BaseDriver):
         return reservation
 
     def utilization(self) -> dict:
-        return {
-            "domain": self.domain,
-            "capacity_mbps": self.capacity_mbps,
-            "held_mbps": self.held_mbps,
-            "active_reservations": len(self._held),
-        }
+        with self._pool_lock:
+            return {
+                "domain": self.domain,
+                "capacity_mbps": self.capacity_mbps,
+                "held_mbps": sum(self._held.values()),
+                "active_reservations": len(self._held),
+            }
 
 
 #: Back-compat friendly alias: a registry wired purely from mocks is a

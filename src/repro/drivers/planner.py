@@ -1,0 +1,339 @@
+"""Fleet-scale concurrent install engine over the driver registry.
+
+The sequential install path (one
+:class:`~repro.drivers.transaction.InstallTransaction` per slice,
+domains prepared one after another) bounds end-to-end deployment
+latency by the *sum* of every domain's southbound latency, slice after
+slice.  :class:`BatchInstallPlanner` removes both serializations while
+keeping the two-phase discipline intact:
+
+- **Across slices** — a batch of admitted installs runs as concurrent
+  jobs on a thread pool; each job owns one slice's whole
+  prepare → validate → commit attempt sequence.
+- **Across domains** — within one job, domains with no declared
+  dependency (``DriverCapabilities.prepare_after``) are prepared in
+  parallel *waves*; the vEPC waits for the cloud stack, everything else
+  overlaps.
+- **Per driver** — a bounded semaphore sized by each driver's
+  ``DriverCapabilities.max_concurrent_installs`` caps how many
+  in-flight prepares a backend absorbs at once, batch-wide.  Serial
+  backends (all simulator adapters) additionally self-serialize via
+  :class:`~repro.drivers.base.BaseDriver`'s locking discipline, so
+  correctness never depends on the planner being the only caller.
+
+Transaction semantics are unchanged: any failure inside a job unwinds
+*that job's* reservations in reverse registry order (COMMITTED domains
+released, PREPARED ones rolled back) via the one unwind implementation
+in :class:`InstallTransaction`; the invariant holds regardless of how
+jobs interleave because each job only ever touches its own slice's
+reservations.  Rollback notifications are buffered per job and
+surfaced only for jobs that ultimately fail — a slice that succeeds on
+a later attempt (e.g. the next candidate datacenter) puts no
+``driver.rollback`` noise on the event feed, matching the sequential
+path's deferred-rollback contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.drivers.base import DomainSpec, DriverError, Reservation
+from repro.drivers.registry import DriverRegistry
+from repro.drivers.transaction import (
+    InstallTransaction,
+    RollbackHook,
+    TransactionError,
+)
+
+
+@dataclass
+class InstallJob:
+    """One slice's install work: attempts tried in order until one
+    commits end-to-end.
+
+    Attributes:
+        slice_id: The slice being installed (labels outcomes/unwinds).
+        attempts: One spec-map per install attempt — typically one per
+            candidate datacenter, each covering every registered domain.
+        validate: Optional cross-domain check run over the full
+            reservation set of an attempt before commit (raise
+            :class:`DriverError` to abort the attempt).
+        tag: Opaque caller correlation (e.g. the admission index).
+    """
+
+    slice_id: str
+    attempts: Sequence[Mapping[str, DomainSpec]]
+    validate: Optional[Callable[[Dict[str, Reservation]], None]] = None
+    tag: Any = None
+
+
+@dataclass
+class InstallOutcome:
+    """What became of one :class:`InstallJob`.
+
+    Exactly one of ``reservations`` (success: the COMMITTED reservation
+    per domain) and ``error`` (every attempt failed) is set.
+    ``rollbacks`` holds the unwind notifications the job buffered —
+    the caller decides whether to surface them (the orchestrator only
+    does for failed installs).
+    """
+
+    job: InstallJob
+    reservations: Optional[Dict[str, Reservation]] = None
+    error: Optional[TransactionError] = None
+    rollbacks: List[Tuple[str, Reservation, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.reservations is not None
+
+
+class BatchInstallPlanner:
+    """Concurrent two-phase installer over a :class:`DriverRegistry`.
+
+    Args:
+        registry: The southbound drivers, in install order.
+        max_workers: Thread-pool width for concurrent jobs (and, via a
+            second pool, for per-domain prepare fan-out inside jobs —
+            two pools so a job waiting on its prepares can never
+            deadlock the prepares behind it).
+        batch_size: :meth:`install` splits larger job lists into groups
+            of this size so one giant admission burst cannot monopolize
+            the drivers for unbounded wall-clock time.
+        on_rollback: Fired (on the *calling* thread, after the batch
+            completes) for each unwound reservation of each **failed**
+            job — successful installs surface none of their retries.
+    """
+
+    def __init__(
+        self,
+        registry: DriverRegistry,
+        max_workers: int = 8,
+        batch_size: int = 16,
+        on_rollback: Optional[RollbackHook] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise DriverError("planner", f"max_workers must be >= 1, got {max_workers}")
+        if batch_size < 1:
+            raise DriverError("planner", f"batch_size must be >= 1, got {batch_size}")
+        self.registry = registry
+        self.max_workers = int(max_workers)
+        self.batch_size = int(batch_size)
+        self.on_rollback = on_rollback
+        #: Completed-batch counters (telemetry/debugging).
+        self.batches_run = 0
+        self.jobs_installed = 0
+        self.jobs_failed = 0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, jobs: Sequence[InstallJob]) -> List[List[InstallJob]]:
+        """Group pending installs into bounded batches, in order."""
+        jobs = list(jobs)
+        return [
+            jobs[i : i + self.batch_size]
+            for i in range(0, len(jobs), self.batch_size)
+        ]
+
+    def prepare_waves(self, domains: Sequence[str]) -> List[List[str]]:
+        """Partition ``domains`` into parallel prepare waves honouring
+        every driver's declared ``prepare_after`` dependencies
+        (dependencies outside ``domains`` are treated as satisfied; a
+        dependency cycle degrades to registry order rather than
+        deadlocking)."""
+        remaining = list(domains)
+        present = set(remaining)
+        placed: set = set()
+        waves: List[List[str]] = []
+        while remaining:
+            wave = [
+                d
+                for d in remaining
+                if all(
+                    dep in placed or dep not in present
+                    for dep in self.registry.get(d).capabilities().prepare_after
+                )
+            ]
+            if not wave:  # cycle — fall back to one-at-a-time registry order
+                wave = [remaining[0]]
+            waves.append(wave)
+            placed.update(wave)
+            remaining = [d for d in remaining if d not in placed]
+        return waves
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def install(self, jobs: Sequence[InstallJob]) -> List[InstallOutcome]:
+        """Install every job, batch by batch; outcomes keep job order."""
+        outcomes: List[InstallOutcome] = []
+        for batch in self.plan(jobs):
+            outcomes.extend(self.install_batch(batch))
+        return outcomes
+
+    def install_batch(self, batch: Sequence[InstallJob]) -> List[InstallOutcome]:
+        """Run one batch of jobs concurrently; outcomes keep job order.
+
+        ``on_rollback`` notifications for failed jobs fire here, on the
+        calling thread, after every job settled — worker threads never
+        touch caller state.
+        """
+        batch = list(batch)
+        if not batch:
+            return []
+        semaphores = {
+            driver.domain: threading.BoundedSemaphore(
+                max(1, driver.capabilities().max_concurrent_installs)
+            )
+            for driver in self.registry.drivers()
+        }
+        if len(batch) == 1:
+            # No cross-slice concurrency to win; skip the job pool (the
+            # prepare pool still fans out across domains).
+            with ThreadPoolExecutor(max_workers=self.max_workers) as prep_pool:
+                outcomes = [self._run_job(batch[0], prep_pool, semaphores)]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(len(batch), self.max_workers),
+                thread_name_prefix="install-job",
+            ) as job_pool, ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="install-prepare",
+            ) as prep_pool:
+                futures = [
+                    job_pool.submit(self._run_job, job, prep_pool, semaphores)
+                    for job in batch
+                ]
+                outcomes = [future.result() for future in futures]
+        self.batches_run += 1
+        for outcome in outcomes:
+            if outcome.ok:
+                self.jobs_installed += 1
+            else:
+                self.jobs_failed += 1
+                if self.on_rollback is not None:
+                    for domain, reservation, reason in outcome.rollbacks:
+                        self.on_rollback(domain, reservation, reason)
+        return outcomes
+
+    def _run_job(
+        self,
+        job: InstallJob,
+        prep_pool: ThreadPoolExecutor,
+        semaphores: Dict[str, threading.Semaphore],
+    ) -> InstallOutcome:
+        """Try each attempt in order until one commits; never raises."""
+        rollbacks: List[Tuple[str, Reservation, str]] = []
+        unwinder = InstallTransaction(
+            self.registry,
+            on_rollback=lambda d, r, reason: rollbacks.append((d, r, reason)),
+        )
+        last_error: Optional[TransactionError] = None
+        for specs in job.attempts:
+            try:
+                reservations = self._attempt(job, specs, prep_pool, semaphores, unwinder)
+            except TransactionError as exc:
+                last_error = exc
+                continue
+            except Exception as exc:  # defensive: a broken driver must
+                last_error = TransactionError(  # not take down the batch
+                    "planner", f"unexpected {type(exc).__name__}: {exc}"
+                )
+                continue
+            return InstallOutcome(job=job, reservations=reservations, rollbacks=rollbacks)
+        if last_error is None:
+            last_error = TransactionError(
+                "planner", f"job {job.slice_id} has no install attempts"
+            )
+        return InstallOutcome(job=job, error=last_error, rollbacks=rollbacks)
+
+    def _attempt(
+        self,
+        job: InstallJob,
+        specs: Mapping[str, DomainSpec],
+        prep_pool: ThreadPoolExecutor,
+        semaphores: Dict[str, threading.Semaphore],
+        unwinder: InstallTransaction,
+    ) -> Dict[str, Reservation]:
+        """One prepare(parallel) → validate → commit(ordered) attempt.
+
+        Raises:
+            TransactionError: On any failure, after unwinding everything
+                this attempt prepared/committed, in reverse registry
+                order.
+        """
+        domains = self.registry.domains()
+        missing = [d for d in domains if d not in specs]
+        surplus = [d for d in specs if d not in domains]
+        if missing or surplus:
+            raise TransactionError(
+                "planner",
+                f"spec/domain mismatch (missing={missing}, surplus={surplus})",
+            )
+        prepared_by_domain: Dict[str, Reservation] = {}
+
+        def ordered_pairs() -> List[Tuple[Any, Reservation]]:
+            return [
+                (self.registry.get(d), prepared_by_domain[d])
+                for d in domains
+                if d in prepared_by_domain
+            ]
+
+        # --- Prepare phase: parallel waves --------------------------------
+        for wave in self.prepare_waves(domains):
+            futures = {
+                domain: prep_pool.submit(
+                    self._prepare_one, domain, specs[domain], semaphores
+                )
+                for domain in wave
+            }
+            wave_error: Optional[Tuple[str, Exception]] = None
+            for domain, future in futures.items():
+                try:
+                    prepared_by_domain[domain] = future.result()
+                except Exception as exc:
+                    if wave_error is None:
+                        wave_error = (domain, exc)
+            if wave_error is not None:
+                unwinder.unwind_and_raise(ordered_pairs(), wave_error[1], wave_error[0])
+        reservations = dict(prepared_by_domain)
+        # --- Validation + commit phase: registry order --------------------
+        failed_domain = "planner"
+        try:
+            if job.validate is not None:
+                job.validate(reservations)
+            for domain in domains:
+                failed_domain = domain
+                self.registry.get(domain).commit(reservations[domain])
+        except Exception as exc:
+            unwinder.unwind_and_raise(ordered_pairs(), exc, failed_domain)
+        return reservations
+
+    def _prepare_one(
+        self,
+        domain: str,
+        spec: DomainSpec,
+        semaphores: Dict[str, threading.Semaphore],
+    ) -> Reservation:
+        """Prepare one domain under its concurrency cap."""
+        semaphore = semaphores.get(domain)
+        if semaphore is None:  # driver registered mid-batch — no cap known
+            return self.registry.get(domain).prepare(spec)
+        with semaphore:
+            return self.registry.get(domain).prepare(spec)
+
+
+__all__ = ["BatchInstallPlanner", "InstallJob", "InstallOutcome"]

@@ -16,16 +16,24 @@ placement provider (see ``docs/ARCHITECTURE.md``).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from repro.drivers.base import DomainDriver, DriverError
 
 
 class DriverRegistry:
-    """Ordered mapping of domain name → :class:`DomainDriver`."""
+    """Ordered mapping of domain name → :class:`DomainDriver`.
+
+    Thread-safe: registration, lookup and iteration take an internal
+    lock, and every iteration surface hands out a point-in-time
+    *snapshot*, so the batch install planner's worker threads never
+    observe a half-applied ``register``/``unregister``.
+    """
 
     def __init__(self, drivers: Optional[List[DomainDriver]] = None) -> None:
         self._drivers: Dict[str, DomainDriver] = {}
+        self._lock = threading.RLock()
         for driver in drivers or []:
             self.register(driver)
 
@@ -45,11 +53,12 @@ class DriverRegistry:
             DriverError: On a duplicate domain without ``replace``.
         """
         domain = driver.domain
-        previous = self._drivers.get(domain)
-        if previous is not None and not replace:
-            raise DriverError(domain, "domain already registered")
-        self._drivers[domain] = driver
-        return previous if previous is not None else driver
+        with self._lock:
+            previous = self._drivers.get(domain)
+            if previous is not None and not replace:
+                raise DriverError(domain, "domain already registered")
+            self._drivers[domain] = driver
+            return previous if previous is not None else driver
 
     def unregister(self, domain: str) -> DomainDriver:
         """Remove and return the driver serving ``domain``.
@@ -57,10 +66,11 @@ class DriverRegistry:
         Raises:
             DriverError: If unknown.
         """
-        try:
-            return self._drivers.pop(domain)
-        except KeyError:
-            raise DriverError(domain, "domain not registered") from None
+        with self._lock:
+            try:
+                return self._drivers.pop(domain)
+            except KeyError:
+                raise DriverError(domain, "domain not registered") from None
 
     def get(self, domain: str) -> DomainDriver:
         """Lookup the driver serving ``domain``.
@@ -68,31 +78,36 @@ class DriverRegistry:
         Raises:
             DriverError: If unknown.
         """
-        try:
-            return self._drivers[domain]
-        except KeyError:
-            raise DriverError(domain, "domain not registered") from None
+        with self._lock:
+            try:
+                return self._drivers[domain]
+            except KeyError:
+                raise DriverError(domain, "domain not registered") from None
 
     def domains(self) -> List[str]:
         """Registered domain names, in registration (install) order."""
-        return list(self._drivers)
+        with self._lock:
+            return list(self._drivers)
 
     def drivers(self) -> List[DomainDriver]:
         """Registered drivers, in registration (install) order."""
-        return list(self._drivers.values())
+        with self._lock:
+            return list(self._drivers.values())
 
     def __contains__(self, domain: str) -> bool:
-        return domain in self._drivers
+        with self._lock:
+            return domain in self._drivers
 
     def __len__(self) -> int:
-        return len(self._drivers)
+        with self._lock:
+            return len(self._drivers)
 
     def __iter__(self) -> Iterator[DomainDriver]:
-        return iter(self._drivers.values())
+        return iter(self.drivers())
 
     def utilization(self) -> dict:
         """Per-domain telemetry snapshot."""
-        return {d.domain: d.utilization() for d in self._drivers.values()}
+        return {d.domain: d.utilization() for d in self.drivers()}
 
     def capabilities(self) -> dict:
         """Per-domain capability summary (API/debugging surface)."""
@@ -102,8 +117,9 @@ class DriverRegistry:
                 "supports_resize": d.capabilities().supports_resize,
                 "supports_repair": d.capabilities().supports_repair,
                 "transactional": d.capabilities().transactional,
+                "max_concurrent_installs": d.capabilities().max_concurrent_installs,
             }
-            for d in self._drivers.values()
+            for d in self.drivers()
         }
 
 

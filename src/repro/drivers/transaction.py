@@ -93,7 +93,7 @@ class InstallTransaction:
                 failed_domain = driver.domain
                 driver.commit(reservation)
         except Exception as exc:
-            self._unwind_and_raise(prepared, exc, failed_domain)
+            self.unwind_and_raise(prepared, exc, failed_domain)
         return reservations
 
     def prepare_domains(
@@ -118,18 +118,21 @@ class InstallTransaction:
                 driver = self.registry.get(domain)
                 prepared.append((driver, driver.prepare(specs[domain])))
         except Exception as exc:
-            self._unwind_and_raise(prepared, exc, failed_domain)
+            self.unwind_and_raise(prepared, exc, failed_domain)
         return prepared
 
-    def _unwind_and_raise(
+    def unwind_and_raise(
         self,
         prepared: List[Tuple[DomainDriver, Reservation]],
         exc: Exception,
         failed_domain: str,
     ) -> None:
-        """Unwind ``prepared`` and re-raise ``exc`` as TransactionError."""
+        """Unwind ``prepared`` and re-raise ``exc`` as TransactionError —
+        the one place the failure message (including compensation
+        failures) is composed, shared with the batch planner's attempts.
+        """
         unwind_errors = self.unwind(prepared, reason=str(exc))
-        if isinstance(exc, DriverError):
+        if isinstance(exc, (DriverError, TransactionError)):
             message = exc.message
         else:
             message = f"unexpected {type(exc).__name__}: {exc}"
@@ -138,6 +141,9 @@ class InstallTransaction:
         raise TransactionError(
             getattr(exc, "domain", failed_domain), message
         ) from exc
+
+    # Backwards-compatible private alias (pre-planner name).
+    _unwind_and_raise = unwind_and_raise
 
     def unwind(
         self, prepared: List[Tuple[DomainDriver, Reservation]], reason: str

@@ -16,7 +16,6 @@ from repro.core.admission import AdmissionPolicy, FcfsPolicy
 from repro.core.forecasting import Forecaster, HoltWintersForecaster
 from repro.core.orchestrator import Orchestrator, OrchestratorConfig
 from repro.core.overbooking import NoOverbooking, OverbookingPolicy
-from repro.drivers.adapters import build_default_registry
 from repro.drivers.base import DomainDriver
 from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
 from repro.sim.engine import Simulator
@@ -96,7 +95,7 @@ class ScenarioRunner:
         self.streams = RandomStreams(seed=config.seed)
         self.sim = Simulator()
         self.testbed: Testbed = build_testbed(config.testbed)
-        self.registry = build_default_registry(self.testbed.allocator)
+        self.registry = self.testbed.registry
         for driver in config.extra_drivers or []:
             if not isinstance(driver, DomainDriver):
                 raise TypeError(

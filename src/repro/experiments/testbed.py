@@ -25,6 +25,8 @@ from repro.cloud.datacenter import ComputeNode, Datacenter, DatacenterTier
 from repro.cloud.placement import BestFitPlacement, PlacementPolicy
 from repro.core.allocation import MultiDomainAllocator
 from repro.core.slices import PlmnPool
+from repro.drivers.adapters import build_default_registry
+from repro.drivers.registry import DriverRegistry
 from repro.ran.controller import RanController
 from repro.ran.enb import ENodeB
 from repro.transport.controller import TransportController
@@ -62,7 +64,15 @@ class TestbedConfig:
 
 @dataclass
 class Testbed:
-    """The wired-up controllers and allocator of one testbed instance."""
+    """The wired-up controllers, planner views and southbound drivers of
+    one testbed instance.
+
+    ``allocator`` is the *planning* surface (demand/free vectors,
+    candidate DCs, latency budgets); every lifecycle operation — install,
+    resize, release, repair — goes through ``registry``, the
+    :class:`~repro.drivers.registry.DriverRegistry` of adapters over the
+    same controllers.
+    """
 
     __test__ = False  # name starts with "Test" but this is not a test class
 
@@ -71,6 +81,7 @@ class Testbed:
     transport: TransportController
     cloud: CloudController
     allocator: MultiDomainAllocator
+    registry: DriverRegistry
     plmn_pool: PlmnPool
     switch: OpenFlowSwitch
     enbs: List[ENodeB] = field(default_factory=list)
@@ -147,6 +158,7 @@ def build_testbed(config: Optional[TestbedConfig] = None) -> Testbed:
         [edge_dc, core_dc], placement=config.placement or BestFitPlacement()
     )
     allocator = MultiDomainAllocator(ran, transport, cloud)
+    registry = build_default_registry(allocator)
     plmn_pool = PlmnPool(size=config.plmn_pool_size)
     return Testbed(
         config=config,
@@ -154,6 +166,7 @@ def build_testbed(config: Optional[TestbedConfig] = None) -> Testbed:
         transport=transport,
         cloud=cloud,
         allocator=allocator,
+        registry=registry,
         plmn_pool=plmn_pool,
         switch=switch,
         enbs=enbs,

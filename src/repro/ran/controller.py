@@ -8,6 +8,7 @@ monitoring epoch and reports delivered throughput per slice.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -37,12 +38,38 @@ class RanAllocation:
 RAN_SEGMENT_LATENCY_MS = 4.0
 
 
+@dataclass
+class PlannedCellLoad:
+    """Load a batch planner has promised to a cell but not installed yet.
+
+    Attributes:
+        prbs: Effective PRBs staged onto the cell.
+        slices: Staged slice count (each consumes a PLMN broadcast slot).
+    """
+
+    prbs: int = 0
+    slices: int = 0
+
+    def add(self, prbs: int) -> None:
+        self.prbs += prbs
+        self.slices += 1
+
+
+_NO_PLANNED_LOAD = PlannedCellLoad()
+
+
 class RanController:
     """Controller managing a fleet of eNBs."""
 
     def __init__(self, enbs: Optional[List[ENodeB]] = None) -> None:
         self._enbs: Dict[str, ENodeB] = {}
         self._placement: Dict[str, str] = {}  # slice_id -> enb_id
+        #: Serialization lock for this controller: the methods here are
+        #: not thread-safe, so every concurrent caller (the RAN driver
+        #: under the batch install planner, or any direct user) must
+        #: hold it across a call.  ``build_default_registry`` wires it
+        #: as the RanDriver's serial lock.
+        self.lock = threading.RLock()
         for enb in enbs or []:
             self.add_enb(enb)
 
@@ -77,19 +104,33 @@ class RanController:
         """Per-cell physically free PRBs."""
         return {enb_id: enb.grid.free_prbs for enb_id, enb in self._enbs.items()}
 
-    def best_enb_for(self, throughput_mbps: float, effective_prbs: int) -> Optional[str]:
+    def best_enb_for(
+        self,
+        throughput_mbps: float,
+        effective_prbs: int,
+        planned: Optional[Dict[str, "PlannedCellLoad"]] = None,
+    ) -> Optional[str]:
         """Pick the cell for a new slice: most free PRBs that still fit.
 
         A cell qualifies if it has a free PLMN broadcast slot and at
         least ``effective_prbs`` free PRBs.  Returns None when no cell
         qualifies (the admission engine then rejects on the RAN domain).
+
+        Args:
+            planned: Load already promised to not-yet-installed slices,
+                per cell — the batch install planner stages a whole
+                admission burst against one capacity snapshot, so each
+                pick must account for the picks before it or every
+                winner lands on the same "best" cell.
         """
+        planned = planned or {}
         best: Optional[str] = None
         best_free = -1
         for enb_id, enb in self._enbs.items():
-            if len(enb.installed_slices()) >= enb.max_plmns:
+            pending = planned.get(enb_id, _NO_PLANNED_LOAD)
+            if len(enb.installed_slices()) + pending.slices >= enb.max_plmns:
                 continue
-            free = enb.grid.free_prbs
+            free = enb.grid.free_prbs - pending.prbs
             if free >= effective_prbs and free > best_free:
                 best, best_free = enb_id, free
         return best
@@ -254,4 +295,9 @@ class RanController:
         }
 
 
-__all__ = ["RAN_SEGMENT_LATENCY_MS", "RanAllocation", "RanController"]
+__all__ = [
+    "PlannedCellLoad",
+    "RAN_SEGMENT_LATENCY_MS",
+    "RanAllocation",
+    "RanController",
+]

@@ -8,6 +8,7 @@ when the overbooking engine reconfigures, and reports utilization.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -66,6 +67,12 @@ class TransportController:
         self._plmns: Dict[str, str] = {}  # slice_id -> plmn_id (for re-programming)
         self._port_counter: Dict[str, int] = {}
         self.repairs_performed = 0
+        #: Serialization lock for this controller: the methods here are
+        #: not thread-safe, so every concurrent caller (the transport
+        #: driver under the batch install planner, or any direct user)
+        #: must hold it across a call.  ``build_default_registry`` wires
+        #: it as the TransportDriver's serial lock.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,12 +1,24 @@
-"""Tests for the multi-domain allocator on the canonical testbed."""
+"""Tests for the multi-domain *planning* surface on the canonical testbed.
+
+The allocator's pre-driver-API lifecycle (``allocate``/``release``/
+``modify_throughput``/``resize``) is retired: commits run through the
+southbound :class:`~repro.drivers.registry.DriverRegistry` (the
+conformance and transaction suites are their executable spec).  What
+remains here is the planning surface the orchestrator still consults —
+demand estimation, free/aggregate capacity, candidate-DC ranking under
+the latency budget — plus end-to-end install checks expressed through
+the testbed's driver registry.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.cloud.datacenter import DatacenterTier
-from repro.core.allocation import AllocationError
+from repro.core.allocation import MultiDomainAllocator
 from repro.core.slices import NetworkSlice
+from repro.drivers.base import DomainSpec
+from repro.drivers.transaction import InstallTransaction, TransactionError
 from tests.conftest import make_request
 
 
@@ -14,6 +26,79 @@ def make_slice(testbed, **kwargs) -> NetworkSlice:
     network_slice = NetworkSlice(make_request(**kwargs))
     network_slice.plmn = testbed.plmn_pool.allocate(network_slice.slice_id)
     return network_slice
+
+
+def install_specs(testbed, network_slice, dc, effective_fraction=1.0):
+    """Spec map for one install attempt pinned to ``dc`` (the batch
+    planner's per-candidate shape, built by hand for the test)."""
+    request = network_slice.request
+    demand = testbed.allocator.demand_vector(request)
+    effective_prbs = max(1, round(demand.prbs * effective_fraction))
+    enb_id = testbed.ran.best_enb_for(request.sla.throughput_mbps, effective_prbs)
+    assert enb_id is not None
+    enb_node = testbed.ran.enb(enb_id).transport_node
+    plmn = network_slice.plmn
+    common = dict(
+        slice_id=network_slice.slice_id,
+        tenant_id=request.tenant_id,
+        throughput_mbps=request.sla.throughput_mbps,
+        max_latency_ms=request.sla.max_latency_ms,
+        duration_s=request.sla.duration_s,
+        effective_fraction=effective_fraction,
+        vcpus=demand.vcpus,
+    )
+    attributes = {
+        "ran": {"plmn": plmn, "enb_id": enb_id},
+        "transport": {
+            "src": enb_node,
+            "dst": dc.gateway_node,
+            "max_delay_ms": testbed.allocator.transport_budget_ms(request, dc),
+            "plmn_id": plmn.plmn_id,
+        },
+        "cloud": {"dc_id": dc.dc_id},
+        "epc": {"plmn_id": plmn.plmn_id},
+    }
+    return {
+        domain: DomainSpec(attributes=attributes.get(domain, {}), **common)
+        for domain in testbed.registry.domains()
+    }
+
+
+def install_e2e(testbed, network_slice, effective_fraction=1.0):
+    """End-to-end install through the driver registry: candidate DCs in
+    planner order, one two-phase transaction per candidate."""
+    request = network_slice.request
+    demand = testbed.allocator.demand_vector(request)
+    effective_prbs = max(1, round(demand.prbs * effective_fraction))
+    enb_id = testbed.ran.best_enb_for(request.sla.throughput_mbps, effective_prbs)
+    if enb_id is None:
+        raise TransactionError("ran", "no eNB fits")
+    enb_node = testbed.ran.enb(enb_id).transport_node
+    candidates = testbed.allocator.candidate_datacenters(request, enb_node)
+    if not candidates:
+        raise TransactionError("cloud", "no feasible datacenter")
+    transaction = InstallTransaction(testbed.registry)
+    last_error = None
+    for dc in candidates:
+        try:
+            return transaction.run(
+                install_specs(testbed, network_slice, dc, effective_fraction)
+            )
+        except TransactionError as exc:
+            last_error = exc
+    raise last_error
+
+
+class TestLifecycleRetired:
+    def test_no_lifecycle_method_remains(self):
+        for name in ("allocate", "release", "modify_throughput", "resize"):
+            assert not hasattr(MultiDomainAllocator, name), (
+                f"MultiDomainAllocator.{name} should be retired; lifecycle "
+                f"goes through the DriverRegistry"
+            )
+
+    def test_testbed_carries_the_registry(self, testbed):
+        assert set(testbed.registry.domains()) == {"ran", "transport", "cloud", "epc"}
 
 
 class TestDemandVector:
@@ -36,127 +121,71 @@ class TestFreeVector:
         assert free.mbps == pytest.approx(1_000.0)  # best eNB uplink (mmWave)
         assert free.vcpus == 2 * 16 + 4 * 32  # edge + core
 
-    def test_shrinks_after_allocation(self, testbed):
+    def test_shrinks_after_registry_install(self, testbed):
         before = testbed.allocator.free_vector()
         network_slice = make_slice(testbed)
-        testbed.allocator.allocate(network_slice)
+        install_e2e(testbed, network_slice)
         after = testbed.allocator.free_vector()
         assert after.vcpus == before.vcpus - 6
 
 
-class TestAllocate:
-    def test_end_to_end_allocation(self, testbed):
+class TestRegistryInstall:
+    def test_end_to_end_install(self, testbed):
         network_slice = make_slice(testbed, throughput_mbps=20.0, max_latency_ms=50.0)
-        allocation = testbed.allocator.allocate(network_slice)
-        assert allocation.ran.effective_prbs > 0
-        assert allocation.transport.path.link_ids
-        assert allocation.cloud.dc_id in ("edge-dc", "core-dc")
-        assert allocation.total_latency_ms <= 50.0
+        reservations = install_e2e(testbed, network_slice)
+        assert reservations["ran"].details["allocation"].effective_prbs > 0
+        assert reservations["transport"].details["link_ids"]
+        assert reservations["cloud"].details["dc_id"] in ("edge-dc", "core-dc")
 
     def test_relaxed_latency_prefers_core(self, testbed):
         network_slice = make_slice(testbed, max_latency_ms=100.0)
-        allocation = testbed.allocator.allocate(network_slice)
-        assert allocation.cloud.dc_id == "core-dc"
+        reservations = install_e2e(testbed, network_slice)
+        assert reservations["cloud"].details["dc_id"] == "core-dc"
 
     def test_tight_latency_forces_edge(self, testbed):
         # RAN 4 ms + mmWave 1 ms + edge fiber 0.5 + processing 0.5 = 6 ms;
         # the core DC is 5 ms farther and cannot fit in 8 ms.
         network_slice = make_slice(testbed, max_latency_ms=8.0, throughput_mbps=5.0)
-        allocation = testbed.allocator.allocate(network_slice)
-        assert allocation.cloud.dc_id == "edge-dc"
+        reservations = install_e2e(testbed, network_slice)
+        assert reservations["cloud"].details["dc_id"] == "edge-dc"
 
-    def test_impossible_latency_rejected_with_domain(self, testbed):
+    def test_impossible_latency_rejected_with_no_residue(self, testbed):
         network_slice = make_slice(testbed, max_latency_ms=4.5, throughput_mbps=5.0)
-        with pytest.raises(AllocationError) as excinfo:
-            testbed.allocator.allocate(network_slice)
-        assert excinfo.value.domain in ("cloud", "transport")
-
-    def test_throughput_beyond_any_cell_rejected(self, testbed):
-        # A 10 MHz cell at reference CQI sustains ~100 Mb/s.
-        network_slice = make_slice(testbed, throughput_mbps=500.0)
-        with pytest.raises(AllocationError) as excinfo:
-            testbed.allocator.allocate(network_slice)
-        assert excinfo.value.domain == "ran"
-
-    def test_failed_allocation_rolls_back_ran(self, testbed):
-        network_slice = make_slice(testbed, max_latency_ms=4.5, throughput_mbps=5.0)
-        with pytest.raises(AllocationError):
-            testbed.allocator.allocate(network_slice)
+        with pytest.raises(TransactionError):
+            install_e2e(testbed, network_slice)
         # Nothing leaked in any domain.
         assert testbed.ran.serving_enb_of(network_slice.slice_id) is None
         assert testbed.transport.allocation_of(network_slice.slice_id) is None
         assert testbed.cloud.stack_of(network_slice.slice_id) is None
 
-    def test_missing_plmn_rejected(self, testbed):
-        network_slice = NetworkSlice(make_request())
-        with pytest.raises(AllocationError) as excinfo:
-            testbed.allocator.allocate(network_slice)
-        assert excinfo.value.domain == "orchestrator"
+    def test_throughput_beyond_any_cell_rejected(self, testbed):
+        network_slice = make_slice(testbed, throughput_mbps=500.0)
+        with pytest.raises(TransactionError) as excinfo:
+            install_e2e(testbed, network_slice)
+        assert excinfo.value.domain == "ran"
 
     def test_effective_fraction_shrinks_commitments(self, testbed):
         full = make_slice(testbed, throughput_mbps=40.0)
-        a_full = testbed.allocator.allocate(full)
+        r_full = install_e2e(testbed, full)
         shrunk = make_slice(testbed, throughput_mbps=40.0)
-        a_shrunk = testbed.allocator.allocate(shrunk, effective_fraction=0.5)
-        assert a_shrunk.ran.effective_prbs < a_full.ran.effective_prbs
-        assert a_shrunk.transport.effective_mbps == pytest.approx(20.0)
-        assert a_shrunk.ran.nominal_prbs == a_full.ran.nominal_prbs
+        r_shrunk = install_e2e(testbed, shrunk, effective_fraction=0.5)
+        ran_full = r_full["ran"].details["allocation"]
+        ran_shrunk = r_shrunk["ran"].details["allocation"]
+        assert ran_shrunk.effective_prbs < ran_full.effective_prbs
+        assert ran_shrunk.nominal_prbs == ran_full.nominal_prbs
+        transport_shrunk = r_shrunk["transport"].details["allocation"]
+        assert transport_shrunk.effective_mbps == pytest.approx(20.0)
 
-    def test_overbooking_admits_more_slices(self, testbed):
-        """With 50% shrink the two cells fit about twice the slices."""
-        count_full = 0
-        try:
-            while True:
-                s = make_slice(testbed, throughput_mbps=30.0)
-                testbed.allocator.allocate(s)
-                count_full += 1
-        except (AllocationError, Exception):
-            pass
-        from repro.experiments.testbed import build_testbed
-
-        testbed2 = build_testbed()
-        count_shrunk = 0
-        try:
-            while True:
-                s = make_slice(testbed2, throughput_mbps=30.0)
-                testbed2.allocator.allocate(s, effective_fraction=0.5)
-                count_shrunk += 1
-        except (AllocationError, Exception):
-            pass
-        assert count_shrunk > count_full
-
-
-class TestReleaseAndResize:
     def test_release_returns_all_resources(self, testbed):
         free_before = testbed.allocator.free_vector()
         network_slice = make_slice(testbed)
-        testbed.allocator.allocate(network_slice)
-        testbed.allocator.release(network_slice)
+        install_e2e(testbed, network_slice)
+        for driver in reversed(testbed.registry.drivers()):
+            driver.release(network_slice.slice_id)
         free_after = testbed.allocator.free_vector()
         assert free_after.prbs == free_before.prbs
         assert free_after.mbps == pytest.approx(free_before.mbps)
         assert free_after.vcpus == free_before.vcpus
-        assert network_slice.allocation is None
-
-    def test_resize_down_and_up(self, testbed):
-        network_slice = make_slice(testbed, throughput_mbps=40.0)
-        testbed.allocator.allocate(network_slice)
-        nominal_prbs = network_slice.allocation.ran.nominal_prbs
-        testbed.allocator.resize(network_slice, 0.5)
-        assert network_slice.allocation.ran.effective_prbs == max(1, round(nominal_prbs * 0.5))
-        testbed.allocator.resize(network_slice, 1.0)
-        assert network_slice.allocation.ran.effective_prbs == nominal_prbs
-
-    def test_resize_unallocated_rejected(self, testbed):
-        network_slice = make_slice(testbed)
-        with pytest.raises(AllocationError):
-            testbed.allocator.resize(network_slice, 0.5)
-
-    def test_resize_bad_fraction_rejected(self, testbed):
-        network_slice = make_slice(testbed)
-        testbed.allocator.allocate(network_slice)
-        with pytest.raises(AllocationError):
-            testbed.allocator.resize(network_slice, 0.0)
 
 
 class TestCandidateDatacenters:

@@ -1,0 +1,290 @@
+"""Tests for the concurrent batch install planner.
+
+The planner is the fleet-scale install engine: batches of install jobs
+run concurrently over the driver registry, prepares fan out in
+dependency waves under per-driver concurrency caps, and the two-phase
+reverse-order unwind discipline must hold no matter how jobs
+interleave.  The :class:`~repro.drivers.mock.MockDriver` provides the
+thread-safe backend plus prepare/commit/release failure injection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+import pytest
+
+from repro.drivers.base import DomainSpec, ReservationState
+from repro.drivers.mock import MockDriver
+from repro.drivers.planner import BatchInstallPlanner, InstallJob
+from repro.drivers.registry import DriverRegistry
+from repro.drivers.transaction import TransactionError
+
+
+DOMAINS = ("alpha", "beta", "gamma")
+
+
+def make_registry(capacity_mbps: float = 1_000.0, **mock_kwargs) -> DriverRegistry:
+    return DriverRegistry(
+        [
+            MockDriver(domain=d, capacity_mbps=capacity_mbps, **mock_kwargs)
+            for d in DOMAINS
+        ]
+    )
+
+
+def spec_map(slice_id: str, mbps: float = 10.0) -> Dict[str, DomainSpec]:
+    return {
+        d: DomainSpec(slice_id=slice_id, throughput_mbps=mbps) for d in DOMAINS
+    }
+
+
+def job_for(slice_id: str, mbps: float = 10.0, attempts: int = 1) -> InstallJob:
+    return InstallJob(
+        slice_id=slice_id,
+        attempts=[spec_map(slice_id, mbps) for _ in range(attempts)],
+    )
+
+
+def committed_mbps(driver: MockDriver) -> float:
+    return sum(
+        r.spec.throughput_mbps * r.spec.effective_fraction
+        for r in driver.reservations()
+        if r.state is ReservationState.COMMITTED
+    )
+
+
+def assert_zero_residue(registry: DriverRegistry) -> None:
+    """The global conservation invariant: what a backend physically
+    holds equals exactly the sum of its COMMITTED reservations, and no
+    reservation is stranded mid-lifecycle."""
+    for driver in registry:
+        for reservation in driver.reservations():
+            assert reservation.state is ReservationState.COMMITTED
+        assert driver.held_mbps == pytest.approx(committed_mbps(driver))
+
+
+class TestPlanning:
+    def test_plan_groups_jobs_into_bounded_batches(self):
+        planner = BatchInstallPlanner(make_registry(), batch_size=4)
+        jobs = [job_for(f"s{i}") for i in range(10)]
+        batches = planner.plan(jobs)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [j.slice_id for b in batches for j in b] == [j.slice_id for j in jobs]
+
+    def test_prepare_waves_respect_declared_dependencies(self):
+        registry = DriverRegistry(
+            [
+                MockDriver(domain="ran"),
+                MockDriver(domain="cloud"),
+                MockDriver(domain="epc", prepare_after=("cloud",)),
+            ]
+        )
+        planner = BatchInstallPlanner(registry)
+        waves = planner.prepare_waves(registry.domains())
+        assert waves == [["ran", "cloud"], ["epc"]]
+
+    def test_prepare_waves_ignore_absent_dependencies(self):
+        registry = DriverRegistry(
+            [MockDriver(domain="epc", prepare_after=("cloud",))]
+        )
+        planner = BatchInstallPlanner(registry)
+        assert planner.prepare_waves(["epc"]) == [["epc"]]
+
+    def test_dependency_cycle_degrades_to_serial_order(self):
+        registry = DriverRegistry(
+            [
+                MockDriver(domain="a", prepare_after=("b",)),
+                MockDriver(domain="b", prepare_after=("a",)),
+            ]
+        )
+        planner = BatchInstallPlanner(registry)
+        waves = planner.prepare_waves(["a", "b"])
+        assert waves == [["a"], ["b"]]
+
+
+class TestBatchInstall:
+    def test_batch_commits_every_domain(self):
+        registry = make_registry()
+        planner = BatchInstallPlanner(registry, max_workers=4)
+        outcomes = planner.install([job_for(f"s{i}") for i in range(6)])
+        assert all(o.ok for o in outcomes)
+        for outcome in outcomes:
+            assert set(outcome.reservations) == set(DOMAINS)
+            for reservation in outcome.reservations.values():
+                assert reservation.state is ReservationState.COMMITTED
+        for driver in registry:
+            assert driver.held_mbps == pytest.approx(60.0)
+        assert_zero_residue(registry)
+        assert planner.jobs_installed == 6
+        assert planner.jobs_failed == 0
+
+    def test_outcomes_keep_submission_order(self):
+        planner = BatchInstallPlanner(make_registry(), max_workers=4, batch_size=2)
+        jobs = [job_for(f"s{i}") for i in range(5)]
+        outcomes = planner.install(jobs)
+        assert [o.job.slice_id for o in outcomes] == [j.slice_id for j in jobs]
+
+    def test_spec_domain_mismatch_fails_before_preparing(self):
+        registry = make_registry()
+        planner = BatchInstallPlanner(registry)
+        bad = InstallJob(slice_id="s0", attempts=[{"alpha": DomainSpec(slice_id="s0")}])
+        (outcome,) = planner.install([bad])
+        assert not outcome.ok
+        assert "mismatch" in str(outcome.error)
+        for driver in registry:
+            assert driver.prepares == 0
+
+    def test_job_with_no_attempts_fails_cleanly(self):
+        planner = BatchInstallPlanner(make_registry())
+        (outcome,) = planner.install([InstallJob(slice_id="s0", attempts=[])])
+        assert not outcome.ok
+        assert "no install attempts" in str(outcome.error)
+
+
+class TestUnwindDiscipline:
+    def test_prepare_failure_unwinds_only_that_job(self):
+        registry = make_registry()
+        registry.get("gamma").fail_next_prepare = 1
+        planner = BatchInstallPlanner(registry, max_workers=1)  # deterministic victim
+        outcomes = planner.install([job_for("s0"), job_for("s1")])
+        assert [o.ok for o in outcomes] == [False, True]
+        assert_zero_residue(registry)
+        # The survivor holds in every domain; the victim holds nowhere.
+        for driver in registry:
+            assert {r.slice_id for r in driver.reservations()} == {"s1"}
+
+    def test_commit_failure_releases_committed_and_rolls_back_prepared(self):
+        registry = make_registry()
+        # beta commits after alpha in registry order: alpha is COMMITTED
+        # when beta's commit fails, gamma is still PREPARED.
+        registry.get("beta").fail_next_commit = 1
+        planner = BatchInstallPlanner(registry, max_workers=1)
+        (outcome,) = planner.install([job_for("s0")])
+        assert not outcome.ok
+        assert_zero_residue(registry)
+        alpha, beta, gamma = (registry.get(d) for d in DOMAINS)
+        assert alpha.releases == 1  # committed → released
+        assert gamma.rollbacks == 1  # still prepared → rolled back
+        # Reverse order: gamma unwinds before alpha (recorded rollbacks).
+        unwound = [domain for domain, _, _ in outcome.rollbacks]
+        assert unwound.index("gamma") < unwound.index("alpha")
+
+    def test_validate_failure_unwinds_everything(self):
+        from repro.drivers.base import DriverError
+
+        registry = make_registry()
+        planner = BatchInstallPlanner(registry)
+
+        def veto(reservations):
+            raise DriverError("validator", "cross-domain check failed")
+
+        job = InstallJob(slice_id="s0", attempts=[spec_map("s0")], validate=veto)
+        (outcome,) = planner.install([job])
+        assert not outcome.ok
+        assert "cross-domain check failed" in str(outcome.error)
+        assert_zero_residue(registry)
+        for driver in registry:
+            assert driver.reservations() == []
+
+    def test_second_attempt_succeeds_and_hides_first_attempt_rollbacks(self):
+        fired: List[tuple] = []
+        registry = make_registry()
+        registry.get("beta").fail_next_prepare = 1
+        planner = BatchInstallPlanner(
+            registry, max_workers=1, on_rollback=lambda *a: fired.append(a)
+        )
+        (outcome,) = planner.install([job_for("s0", attempts=2)])
+        assert outcome.ok
+        # First attempt's unwind was buffered but never surfaced.
+        assert fired == []
+        assert outcome.rollbacks  # the buffer does record the retry
+        assert_zero_residue(registry)
+
+    def test_rollback_hook_fires_for_failed_jobs_only(self):
+        fired: List[tuple] = []
+        registry = make_registry()
+        registry.get("gamma").fail_next_prepare = 1
+        planner = BatchInstallPlanner(
+            registry, max_workers=1, on_rollback=lambda *a: fired.append(a)
+        )
+        outcomes = planner.install([job_for("s0"), job_for("s1")])
+        assert [o.ok for o in outcomes] == [False, True]
+        assert fired  # the failed job surfaced its unwinds
+        assert {r.slice_id for _, r, _ in fired} == {"s0"}
+
+
+class TestConcurrencyCaps:
+    def test_per_driver_semaphore_bounds_inflight_prepares(self):
+        class Probe(MockDriver):
+            def __init__(self):
+                super().__init__(domain="probe", max_concurrent_installs=2)
+                self.inflight = 0
+                self.max_inflight = 0
+                self._gauge = threading.Lock()
+
+            def _do_prepare(self, spec):
+                with self._gauge:
+                    self.inflight += 1
+                    self.max_inflight = max(self.max_inflight, self.inflight)
+                try:
+                    import time
+
+                    time.sleep(0.002)
+                    return super()._do_prepare(spec)
+                finally:
+                    with self._gauge:
+                        self.inflight -= 1
+
+        probe = Probe()
+        registry = DriverRegistry([probe])
+        planner = BatchInstallPlanner(registry, max_workers=8)
+        outcomes = planner.install(
+            [
+                InstallJob(slice_id=f"s{i}", attempts=[{"probe": DomainSpec(slice_id=f"s{i}")}])
+                for i in range(12)
+            ]
+        )
+        assert all(o.ok for o in outcomes)
+        assert probe.max_inflight <= 2
+
+    def test_interleaved_batches_keep_invariant_under_failure_injection(self):
+        """Two planners hammer the same registry from two threads with
+        failures injected everywhere; after quiescence the conservation
+        invariant holds and no reservation is stranded."""
+        registry = make_registry(capacity_mbps=10_000.0)
+        for driver in registry:
+            driver.fail_next_prepare = 3
+            driver.fail_next_commit = 2
+        planners = [
+            BatchInstallPlanner(registry, max_workers=4, batch_size=8)
+            for _ in range(2)
+        ]
+        results: List[List] = [[], []]
+        errors: List[Exception] = []
+
+        def run(which: int) -> None:
+            try:
+                jobs = [job_for(f"p{which}-s{i}") for i in range(16)]
+                results[which] = planners[which].install(jobs)
+            except Exception as exc:  # pragma: no cover - must not happen
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(w,)) for w in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        outcomes = results[0] + results[1]
+        assert len(outcomes) == 32
+        assert_zero_residue(registry)
+        # Failed jobs hold nothing anywhere; successful ones everywhere.
+        for outcome in outcomes:
+            held_in = {
+                d.domain
+                for d in registry
+                if any(r.slice_id == outcome.job.slice_id for r in d.reservations())
+            }
+            assert held_in == (set(DOMAINS) if outcome.ok else set())

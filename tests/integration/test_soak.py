@@ -4,6 +4,13 @@ One scenario exercises at once: batch broker, advance bookings, adaptive
 overbooking driven by Holt-Winters forecasts, city-trace traffic,
 priority scheduling, a link-failure window with self-healing, one
 mid-life slice rescale — then asserts the global invariants still hold.
+
+A second scenario (``churn_run``) soaks the *fleet-scale install
+engine*: multiple tenants submit admission bursts that flush through
+the broker into the concurrent batch planner, slices expire and free
+capacity for the next burst, a link fails and heals mid-run — and the
+event feed must never carry a ``driver.rollback`` for an install that
+ultimately succeeded.
 """
 
 from __future__ import annotations
@@ -16,9 +23,10 @@ from repro.core.forecasting import HoltWintersForecaster
 from repro.core.orchestrator import Orchestrator, OrchestratorConfig
 from repro.core.overbooking import AdaptiveOverbooking
 from repro.core.slices import ServiceType, SliceState
-from repro.experiments.testbed import build_testbed
+from repro.experiments.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
+from repro.traffic.patterns import ConstantProfile
 from repro.traffic.traces import SyntheticCityTrace
 from tests.conftest import make_request
 
@@ -168,3 +176,131 @@ class TestSoak:
         _, orch, _, _, _, _ = soak_run
         resized = orch.metrics.labels_of("slice.effective_fraction")
         assert resized
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant concurrent churn through the batch install planner
+# ----------------------------------------------------------------------
+
+TENANTS = ("tenant-a", "tenant-b", "tenant-c")
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    """Admit/expire/heal cycles under bursty multi-tenant load: every
+    2 h each tenant submits a burst into one broker window, the window
+    flushes through the concurrent batch planner, and the 1.5 h slice
+    lifetime frees the capacity before the next burst."""
+    testbed = build_testbed(
+        TestbedConfig(n_enbs=4, plmn_pool_size=24, edge_nodes=4, core_nodes=8)
+    )
+    sim = Simulator()
+    orch = Orchestrator(
+        sim=sim,
+        allocator=testbed.allocator,
+        plmn_pool=testbed.plmn_pool,
+        config=OrchestratorConfig(
+            monitoring_epoch_s=300.0,
+            event_log_capacity=16_384,  # retain the whole run's feed
+        ),
+        streams=RandomStreams(seed=7),
+    )
+    orch.start()
+    broker = SliceBroker(orch, window_s=300.0, policy=KnapsackPolicy())
+    submitted = []
+    for cycle in range(6):  # bursts at 0h, 2h, ..., 10h
+        burst_time = cycle * 2 * HOUR + 1.0
+        for tenant in TENANTS:
+            for k in range(3):
+                request = make_request(
+                    throughput_mbps=8.0 + 2.0 * k,
+                    duration_s=1.5 * HOUR,
+                    max_latency_ms=60.0,
+                    tenant=tenant,
+                    price=50.0 + 10.0 * k,
+                )
+                submitted.append(request)
+                profile = ConstantProfile(
+                    request.sla.throughput_mbps, level=0.5, noise_std=0.0
+                )
+                sim.schedule_at(
+                    burst_time,
+                    lambda r=request, p=profile: broker.submit(r, p),
+                )
+    # A link-failure window in the middle of the run; self-healing and
+    # later bursts must both cope.
+    topo = testbed.transport.topology
+    sim.schedule_at(5.0 * HOUR, lambda: topo.link("enb1-mmwave-fwd").fail())
+    sim.schedule_at(5.5 * HOUR, lambda: topo.link("enb1-mmwave-fwd").restore())
+    sim.run_until(13.0 * HOUR)
+    return testbed, orch, broker, submitted
+
+
+class TestConcurrentChurn:
+    def test_bursts_ran_through_the_batch_planner(self, churn_run):
+        _, orch, _, _ = churn_run
+        assert orch.planner.batches_run >= 6
+        # Real fleet-scale batches, not degenerate single-slice loops.
+        assert orch.planner.jobs_installed >= 2 * orch.planner.batches_run
+
+    def test_churn_cycles_admitted_and_expired(self, churn_run):
+        _, orch, _, submitted = churn_run
+        states = [
+            orch.slice(r.request_id.replace("req-", "slice-")).state
+            for r in submitted
+        ]
+        assert states.count(SliceState.EXPIRED) >= len(TENANTS) * 3 * 4
+        # Churn means capacity was reusable: later bursts admitted too.
+        assert orch.ledger.admissions >= len(TENANTS) * 3 * 4
+
+    def test_no_rollback_events_for_successful_installs(self, churn_run):
+        """The deferred-rollback contract under concurrency: an install
+        that ultimately succeeded must put zero ``driver.rollback``
+        noise on the event feed (a retried candidate DC, for example,
+        stays internal)."""
+        _, orch, _, _ = churn_run
+        events = orch.events.since(0)
+        assert events[0].seq == 1, "event log overflowed; raise capacity"
+        succeeded = set()
+        for event in events:
+            if event.event_type == "slice.admitted":
+                succeeded.add(event.slice_id)
+        for event in events:
+            if event.event_type == "driver.rollback":
+                assert event.slice_id not in succeeded, (
+                    f"rollback event leaked for successful install "
+                    f"{event.slice_id}"
+                )
+
+    def test_every_tenant_served(self, churn_run):
+        _, orch, _, submitted = churn_run
+        admitted_tenants = {
+            r.tenant_id
+            for r in submitted
+            if orch.slice(r.request_id.replace("req-", "slice-")).state
+            in (SliceState.ACTIVE, SliceState.EXPIRED, SliceState.DEPLOYING)
+        }
+        assert admitted_tenants == set(TENANTS)
+
+    def test_no_physical_residue_after_churn(self, churn_run):
+        testbed, orch, _, _ = churn_run
+        for enb in testbed.ran.enbs():
+            enb.grid.check_invariants()
+        for link in testbed.transport.topology.links():
+            assert link.effective_reserved_mbps <= link.capacity_mbps + 1e-6
+        for dc in testbed.cloud.datacenters():
+            for node in dc.nodes():
+                node.check_invariants()
+        # Every driver's reservation table matches the live slices.
+        live = {s.slice_id for s in orch.live_slices()}
+        for driver in orch.registry:
+            tracked = {r.slice_id for r in driver.reservations()}
+            assert tracked <= live, f"{driver.domain} leaked {tracked - live}"
+
+    def test_healing_survived_the_burst_storm(self, churn_run):
+        testbed, orch, _, _ = churn_run
+        for network_slice in orch.active_slices():
+            if network_slice.allocation is None:
+                continue
+            for lid in network_slice.allocation.transport.path.link_ids:
+                assert testbed.transport.topology.link(lid).up

@@ -1,0 +1,136 @@
+"""CI perf-regression gate over the install-engine benchmarks.
+
+Runs the two install-engine experiments at a CI-friendly scale, writes
+the numbers to a JSON artifact (``BENCH_ci.json``) so the performance
+trajectory is inspectable per commit, and exits non-zero if either
+asserted floor is broken:
+
+- **D8b** — batched vs. sequential install of a slice burst: the
+  concurrent engine must keep a healthy speedup over the sequential
+  seed path.
+- **D8d** — stall isolation: with one southbound operation hung, the
+  async engine must settle the batch well before the threaded-planner
+  baseline can (which parks a worker until the backend comes back).
+
+The floors are deliberately *below* the full-scale assertions in
+``bench_d8_scalability.py`` (2.0× at 32 slices) so the gate is robust
+on loaded shared runners while still catching real regressions — a
+broken batch path shows up as ~1.0×, not ~1.6×.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/ci_gate.py [--out BENCH_ci.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+# CI scale: big enough that batching visibly wins, small enough for a
+# shared runner.  Must be set before the bench module is imported (it
+# reads the knobs at import time).
+os.environ.setdefault("D8_BATCH_SLICES", "16")
+os.environ.setdefault("D8_STALL_JOBS", "16")
+
+from benchmarks.bench_d8_scalability import (  # noqa: E402
+    BATCH_SLICES,
+    STALL_JOBS,
+    STALL_RELEASE_S,
+    STALL_TIMEOUT_S,
+    _install_burst,
+    _stalled_batch,
+)
+from repro.drivers.planner import (  # noqa: E402
+    BatchInstallPlanner,
+    ThreadedInstallPlanner,
+)
+
+#: Asserted regression floors (see module docstring for the rationale).
+FLOOR_D8B_SPEEDUP = 1.5
+FLOOR_D8D_ISOLATION = 1.5
+
+
+def run_gate() -> dict:
+    """Run both experiments; returns the artifact payload."""
+    failures = []
+
+    sequential_s = _install_burst(BATCH_SLICES, batched=False)
+    batched_s = _install_burst(BATCH_SLICES, batched=True)
+    d8b_speedup = sequential_s / max(batched_s, 1e-9)
+    if d8b_speedup < FLOOR_D8B_SPEEDUP:
+        failures.append(
+            f"D8b: batched speedup {d8b_speedup:.2f}x < floor {FLOOR_D8B_SPEEDUP}x"
+        )
+
+    async_s, async_ok, async_timeouts = _stalled_batch(BatchInstallPlanner)
+    threaded_s, threaded_ok, _ = _stalled_batch(ThreadedInstallPlanner)
+    d8d_isolation = threaded_s / max(async_s, 1e-9)
+    if d8d_isolation < FLOOR_D8D_ISOLATION:
+        failures.append(
+            f"D8d: stall isolation {d8d_isolation:.2f}x < floor {FLOOR_D8D_ISOLATION}x"
+        )
+    if async_ok < STALL_JOBS - 1:
+        failures.append(
+            f"D8d: only {async_ok}/{STALL_JOBS} healthy jobs committed under stall"
+        )
+    if async_s >= STALL_RELEASE_S:
+        failures.append(
+            f"D8d: async engine took {async_s:.2f}s — it waited out the stall"
+        )
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "d8b": {
+            "slices": BATCH_SLICES,
+            "sequential_s": round(sequential_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(d8b_speedup, 2),
+            "floor": FLOOR_D8B_SPEEDUP,
+        },
+        "d8d": {
+            "jobs": STALL_JOBS,
+            "stall_release_s": STALL_RELEASE_S,
+            "deadline_s": STALL_TIMEOUT_S,
+            "async_s": round(async_s, 4),
+            "async_jobs_ok": async_ok,
+            "async_ops_timed_out": async_timeouts,
+            "threaded_s": round(threaded_s, 4),
+            "threaded_jobs_ok": threaded_ok,
+            "isolation": round(d8d_isolation, 2),
+            "floor": FLOOR_D8D_ISOLATION,
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_ci.json", help="artifact path (JSON)"
+    )
+    args = parser.parse_args(argv)
+    payload = run_gate()
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if payload["failures"]:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in payload["failures"]:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nperf gate ok: D8b {payload['d8b']['speedup']}x "
+        f"(floor {FLOOR_D8B_SPEEDUP}x), "
+        f"D8d {payload['d8d']['isolation']}x (floor {FLOOR_D8D_ISOLATION}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

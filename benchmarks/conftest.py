@@ -10,7 +10,7 @@ for timing.
 from __future__ import annotations
 
 import pathlib
-from typing import List, Sequence
+from typing import Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

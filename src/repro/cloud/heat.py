@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.cloud.datacenter import CloudError, Datacenter, VirtualMachine
 from repro.cloud.flavors import Flavor

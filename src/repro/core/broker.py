@@ -16,7 +16,7 @@ ablated in ``benchmarks/bench_d9_batch_window.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.admission import AdmissionDecision, AdmissionPolicy, KnapsackPolicy
@@ -110,7 +110,11 @@ class SliceBroker:
         Winners are installed as *one* concurrent batch through the
         orchestrator's :class:`~repro.drivers.planner.BatchInstallPlanner`
         — a window of N admitted slices deploys in roughly the time the
-        slowest single install takes, not the sum of all N.
+        slowest single install takes, not the sum of all N.  Since the
+        planner's async rewrite the batch is also stall-isolated per
+        job: a hung southbound domain delays (or, with a configured
+        ``install_timeout_s`` deadline, cleanly fails) only the winners
+        that touched it, never the rest of the window.
         """
         self._flush_armed = False
         if not self._queue:

@@ -39,8 +39,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.admission import (
     AdmissionDecision,
     AdmissionPolicy,
@@ -119,11 +117,19 @@ class OrchestratorConfig:
             promise-breaking a myopic broker causes.
         event_log_capacity: Retention of the northbound event feed
             (``GET /v1/events``); oldest events are evicted beyond it.
-        install_workers: Thread-pool width of the concurrent batch
-            install planner (see :class:`~repro.drivers.planner.
-            BatchInstallPlanner`).
+        install_workers: Concurrent-job cap of the async batch install
+            planner (see :class:`~repro.drivers.planner.
+            BatchInstallPlanner`; a token pool, not a thread pool).
         install_batch_size: Maximum installs one planner batch runs
             concurrently; larger admission bursts are split.
+        install_timeout_s: Default per-operation southbound deadline
+            (wall-clock) for batched installs; a domain driver that has
+            not completed a prepare/commit within this budget is
+            treated as hung — the job unwinds cleanly while healthy
+            jobs proceed, and the straggler is compensated when it
+            completes.  Drivers declaring their own
+            ``DriverCapabilities.operation_timeout_s`` override it;
+            ``None`` waits forever (the blocking path's behavior).
     """
 
     monitoring_epoch_s: float = 60.0
@@ -138,6 +144,7 @@ class OrchestratorConfig:
     event_log_capacity: int = 1024
     install_workers: int = 8
     install_batch_size: int = 16
+    install_timeout_s: Optional[float] = None
 
 
 @dataclass
@@ -200,12 +207,13 @@ class Orchestrator:
 
         self.calendar = ResourceCalendar(allocator.aggregate_capacity_vector())
         # Fleet-scale installs: admission bursts (broker windows, the
-        # epoch-drained admission queue) run through the concurrent
-        # batch planner instead of looping slice-by-slice.
+        # epoch-drained admission queue) run through the event-driven
+        # async batch planner instead of looping slice-by-slice.
         self.planner = planner or BatchInstallPlanner(
             self.registry,
             max_workers=self.config.install_workers,
             batch_size=self.config.install_batch_size,
+            operation_timeout_s=self.config.install_timeout_s,
         )
         self._runtimes: Dict[str, SliceRuntime] = {}
         self._all_slices: Dict[str, NetworkSlice] = {}
@@ -529,6 +537,12 @@ class Orchestrator:
         Decisions are returned in submission order; rollback events are
         emitted only for installs that ultimately failed, matching the
         sequential path's deferred-rollback semantics.
+
+        Installs are stall-isolated per job: the planner drives the
+        drivers' futures-based lifecycle, so a hung southbound domain
+        delays (or, under ``config.install_timeout_s``, cleanly fails)
+        only the jobs that touched it — every other job in the batch
+        commits in its own latency.
         """
         results: List[Optional[AdmissionDecision]] = [None] * len(admissions)
         jobs: List[InstallJob] = []
@@ -1489,6 +1503,8 @@ class Orchestrator:
                     "batches_run": self.planner.batches_run,
                     "jobs_installed": self.planner.jobs_installed,
                     "jobs_failed": self.planner.jobs_failed,
+                    "ops_timed_out": self.planner.ops_timed_out,
+                    "ops_compensated": self.planner.ops_compensated,
                     "pending_installs": self.pending_installs,
                 },
             },

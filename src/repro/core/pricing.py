@@ -9,7 +9,7 @@ left on the table (opportunity cost, reported but not subtracted).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.slices import SliceRequest

@@ -29,6 +29,15 @@ lock — the per-controller half of the locking discipline.  The EPC
 adapter additionally declares ``prepare_after=("cloud",)``: within one
 install its prepare runs only after the cloud stack exists, while the
 other domains prepare in parallel.
+
+None of the adapters overrides the futures-based async lifecycle: the
+base-class shim runs each blocking controller call on a daemon thread,
+which already gives the async batch planner a non-blocking surface
+(the engine never parks *its own* execution on a slow adapter).  Every
+adapter accepts an ``operation_timeout_s`` declaring how long the
+planner should wait on one of its operations before treating the
+backend as hung — ``None`` for the in-process simulator controllers,
+a real RPC deadline for adapters wrapping remote SDN/NFV controllers.
 """
 
 from __future__ import annotations
@@ -69,15 +78,18 @@ class RanDriver(BaseDriver):
         self,
         controller: RanController,
         serial_lock: Optional[threading.RLock] = None,
+        operation_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(serial_lock=serial_lock)
         self.controller = controller
+        self.operation_timeout_s = operation_timeout_s
 
     def capabilities(self) -> DriverCapabilities:
         return DriverCapabilities(
             domain=self.domain,
             resource_units=("prbs",),
             supports_resize=True,
+            operation_timeout_s=self.operation_timeout_s,
         )
 
     def feasible(self, spec: DomainSpec) -> bool:
@@ -182,9 +194,11 @@ class TransportDriver(BaseDriver):
         self,
         controller: TransportController,
         serial_lock: Optional[threading.RLock] = None,
+        operation_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(serial_lock=serial_lock)
         self.controller = controller
+        self.operation_timeout_s = operation_timeout_s
 
     def capabilities(self) -> DriverCapabilities:
         return DriverCapabilities(
@@ -192,6 +206,7 @@ class TransportDriver(BaseDriver):
             resource_units=("mbps",),
             supports_resize=True,
             supports_repair=True,
+            operation_timeout_s=self.operation_timeout_s,
         )
 
     def _path_request(self, spec: DomainSpec) -> PathRequest:
@@ -338,12 +353,18 @@ class CloudDriver(BaseDriver):
         self,
         controller: CloudController,
         serial_lock: Optional[threading.RLock] = None,
+        operation_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(serial_lock=serial_lock)
         self.controller = controller
+        self.operation_timeout_s = operation_timeout_s
 
     def capabilities(self) -> DriverCapabilities:
-        return DriverCapabilities(domain=self.domain, resource_units=("vcpus",))
+        return DriverCapabilities(
+            domain=self.domain,
+            resource_units=("vcpus",),
+            operation_timeout_s=self.operation_timeout_s,
+        )
 
     def feasible(self, spec: DomainSpec) -> bool:
         template = spec.attributes.get("template") or epc_template(spec.slice_id)
@@ -421,15 +442,21 @@ class EpcDriver(BaseDriver):
         self,
         stack_lookup: Callable[[str], Optional[HeatStack]],
         serial_lock: Optional[threading.RLock] = None,
+        operation_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(serial_lock=serial_lock)
         self.stack_lookup = stack_lookup
+        self.operation_timeout_s = operation_timeout_s
         self._instances: Dict[str, EpcInstance] = {}
 
     def capabilities(self) -> DriverCapabilities:
         # The vEPC binds to the cloud stack, so within one install its
         # prepare must wait for the cloud domain's prepare to land.
-        return DriverCapabilities(domain=self.domain, prepare_after=("cloud",))
+        return DriverCapabilities(
+            domain=self.domain,
+            prepare_after=("cloud",),
+            operation_timeout_s=self.operation_timeout_s,
+        )
 
     def feasible(self, spec: DomainSpec) -> bool:
         return spec.attributes.get("plmn_id") is not None

@@ -35,8 +35,9 @@ import contextlib
 import enum
 import itertools
 import threading
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, ContextManager, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, ContextManager, Dict, List, Optional, Set, Tuple
 
 
 class DriverError(RuntimeError):
@@ -150,6 +151,15 @@ class DriverCapabilities:
             binding needs the cloud stack to exist).  The batch planner
             turns this into prepare *waves*; domains with no dependency
             between them are prepared in parallel.
+        operation_timeout_s: Per-operation deadline for the async
+            lifecycle (``prepare_async``/``commit_async``/…).  When an
+            operation's future has not completed within this budget the
+            batch planner treats the domain as hung: the *job* unwinds
+            cleanly (its other domains are rolled back / released) while
+            the hung operation is compensated in the background the
+            moment it eventually completes.  ``None`` (the default)
+            means no deadline — the planner then falls back to its own
+            configured default, or waits forever like the blocking path.
     """
 
     domain: str
@@ -159,6 +169,7 @@ class DriverCapabilities:
     transactional: bool = False
     max_concurrent_installs: int = 1
     prepare_after: Tuple[str, ...] = ()
+    operation_timeout_s: Optional[float] = None
 
 
 class DomainDriver(abc.ABC):
@@ -241,6 +252,63 @@ class DomainDriver(abc.ABC):
             DriverError: Always, unless a subclass overrides.
         """
         raise DriverError(self.domain, "driver does not support repair")
+
+    # ------------------------------------------------------------------
+    # Async lifecycle (futures-based southbound)
+    # ------------------------------------------------------------------
+    # The batch planner drives installs through these non-blocking
+    # variants: each returns a ``concurrent.futures.Future`` that
+    # resolves to the blocking method's result (or raises its error).
+    # The default implementation is a *shim* that runs the blocking
+    # method on a dedicated daemon thread, so every existing adapter
+    # gets a working async surface unchanged — a natively asynchronous
+    # backend (MockDriver, a real controller with async RPCs) overrides
+    # these to resolve the future from its own completion machinery
+    # without parking a thread per call.
+    #
+    # Contract notes shared by all four:
+    # - The future may be cancelled while still pending; a backend that
+    #   honours cancellation must then perform no side effects.
+    # - Callers bound waiting via ``DriverCapabilities.
+    #   operation_timeout_s``; the shim itself never times out (the
+    #   blocking call keeps running on its thread, and the planner
+    #   compensates the straggler when it eventually completes).
+
+    def _shim_async(self, label: str, fn: Callable[..., Any], *args: Any) -> Future:
+        """Run blocking ``fn(*args)`` on a daemon thread, resolving a
+        future — the default async surface for blocking drivers."""
+        future: Future = Future()
+
+        def run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return  # cancelled before the backend was touched
+            try:
+                result = fn(*args)
+            except BaseException as exc:  # resolve, never propagate
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+        threading.Thread(
+            target=run, name=f"{self.domain}-{label}-async", daemon=True
+        ).start()
+        return future
+
+    def prepare_async(self, spec: DomainSpec) -> Future:
+        """Non-blocking :meth:`prepare`; resolves to the Reservation."""
+        return self._shim_async("prepare", self.prepare, spec)
+
+    def commit_async(self, reservation: Reservation) -> Future:
+        """Non-blocking :meth:`commit`; resolves to ``None``."""
+        return self._shim_async("commit", self.commit, reservation)
+
+    def rollback_async(self, reservation: Reservation) -> Future:
+        """Non-blocking :meth:`rollback`; resolves to ``None``."""
+        return self._shim_async("rollback", self.rollback, reservation)
+
+    def release_async(self, slice_id: str) -> Future:
+        """Non-blocking :meth:`release`; resolves to ``None``."""
+        return self._shim_async("release", self.release, slice_id)
 
 
 class BaseDriver(DomainDriver):

@@ -46,6 +46,32 @@ class TransactionError(RuntimeError):
         self.message = message
 
 
+class OperationTimeout(TransactionError):
+    """A southbound operation exceeded its per-operation deadline
+    (``DriverCapabilities.operation_timeout_s``): the domain is treated
+    as hung, the owning job unwinds, and the straggling operation is
+    compensated in the background when it eventually completes."""
+
+
+def compose_unwind_error(
+    exc: Exception, failed_domain: str, unwind_errors: List[str]
+) -> TransactionError:
+    """The one place a transaction-failure message (including
+    compensation failures) is composed — shared by the blocking
+    :meth:`InstallTransaction.unwind_and_raise` and the async planner's
+    deadline-covered unwind chain.  A deadline failure keeps its type
+    through the unwind, so callers can tell "domain hung" from "domain
+    refused"."""
+    if isinstance(exc, (DriverError, TransactionError)):
+        message = exc.message
+    else:
+        message = f"unexpected {type(exc).__name__}: {exc}"
+    if unwind_errors:
+        message += f" (unwind also failed: {'; '.join(unwind_errors)})"
+    error_cls = OperationTimeout if isinstance(exc, OperationTimeout) else TransactionError
+    return error_cls(getattr(exc, "domain", failed_domain), message)
+
+
 class InstallTransaction:
     """Prepare/commit coordinator over a :class:`DriverRegistry`."""
 
@@ -132,15 +158,7 @@ class InstallTransaction:
         failures) is composed, shared with the batch planner's attempts.
         """
         unwind_errors = self.unwind(prepared, reason=str(exc))
-        if isinstance(exc, (DriverError, TransactionError)):
-            message = exc.message
-        else:
-            message = f"unexpected {type(exc).__name__}: {exc}"
-        if unwind_errors:
-            message += f" (unwind also failed: {'; '.join(unwind_errors)})"
-        raise TransactionError(
-            getattr(exc, "domain", failed_domain), message
-        ) from exc
+        raise compose_unwind_error(exc, failed_domain, unwind_errors) from exc
 
     # Backwards-compatible private alias (pre-planner name).
     _unwind_and_raise = unwind_and_raise
@@ -170,4 +188,10 @@ class InstallTransaction:
         return errors
 
 
-__all__ = ["InstallTransaction", "RollbackHook", "TransactionError"]
+__all__ = [
+    "InstallTransaction",
+    "OperationTimeout",
+    "RollbackHook",
+    "TransactionError",
+    "compose_unwind_error",
+]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from repro.cloud.heat import HeatStack, StackState
-from repro.epc.components import EPC_PROCESSING_MS, EpcComponentType
+from repro.epc.components import EPC_PROCESSING_MS
 
 
 class EpcError(RuntimeError):

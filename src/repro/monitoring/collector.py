@@ -9,7 +9,7 @@ utilization for the dashboard.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from repro.monitoring.metrics import MetricsRegistry
 

@@ -10,7 +10,7 @@ alternatives are wanted.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.transport.topology import Topology

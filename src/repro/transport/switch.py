@@ -9,7 +9,7 @@ port, with per-entry packet/byte counters and priority-ordered lookup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 
 class SwitchError(RuntimeError):

@@ -12,7 +12,7 @@ from repro.cloud.datacenter import (
     VirtualMachine,
     VmState,
 )
-from repro.cloud.flavors import FLAVORS, Flavor, flavor
+from repro.cloud.flavors import Flavor, flavor
 
 
 class TestFlavors:

@@ -5,9 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api.routes import build_orchestrator_api
-from repro.core.allocation import AllocationError
 from repro.core.orchestrator import Orchestrator
-from repro.core.slices import NetworkSlice
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.traffic.patterns import ConstantProfile

@@ -10,7 +10,7 @@ from repro.core.overbooking import AdaptiveOverbooking, FixedOverbooking, NoOver
 from repro.core.slices import SliceState
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
-from repro.traffic.patterns import ConstantProfile, DiurnalProfile
+from repro.traffic.patterns import ConstantProfile
 from tests.conftest import make_request
 
 

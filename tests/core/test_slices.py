@@ -13,7 +13,6 @@ from repro.core.slices import (
     SLA,
     ServiceType,
     SliceError,
-    SliceRequest,
     SliceState,
 )
 from tests.conftest import make_request

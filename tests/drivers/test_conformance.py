@@ -313,6 +313,67 @@ class TestRepair:
 
 
 # ----------------------------------------------------------------------
+# Async lifecycle conformance
+# ----------------------------------------------------------------------
+
+
+class TestAsyncLifecycle:
+    """The futures-based lifecycle is part of the driver contract: a
+    natively asynchronous backend (the mock) and the blocking-shim
+    default every adapter inherits must expose the same surface — the
+    future resolves to the blocking method's result, and backend errors
+    resolve the future instead of raising at the call site."""
+
+    def test_async_install_release_roundtrip(self, case):
+        spec = case.new_spec()
+        future = case.driver.prepare_async(spec)
+        reservation = future.result(timeout=10)
+        assert reservation.state is ReservationState.PREPARED
+        assert case.driver.reservation_of(spec.slice_id) is reservation
+        assert case.driver.commit_async(reservation).result(timeout=10) is None
+        assert reservation.state is ReservationState.COMMITTED
+        assert case.driver.health(spec.slice_id)["healthy"]
+        assert case.driver.release_async(spec.slice_id).result(timeout=10) is None
+        assert reservation.state is ReservationState.RELEASED
+        assert case.driver.reservation_of(spec.slice_id) is None
+
+    def test_async_rollback_leaves_no_residue(self, case):
+        spec = case.new_spec()
+        reservation = case.driver.prepare_async(spec).result(timeout=10)
+        assert case.driver.rollback_async(reservation).result(timeout=10) is None
+        assert reservation.state is ReservationState.ROLLED_BACK
+        assert case.driver.reservation_of(spec.slice_id) is None
+
+    def test_async_refusal_resolves_the_future(self, case):
+        if case.bad_spec is None:
+            pytest.skip("backend has no refusal path to inject")
+        future = case.driver.prepare_async(case.bad_spec())
+        with pytest.raises(DriverError):
+            future.result(timeout=10)
+        assert future.done()
+
+    def test_async_release_of_unknown_slice_resolves_the_future(self, case):
+        future = case.driver.release_async("slice-never-installed")
+        with pytest.raises(DriverError):
+            future.result(timeout=10)
+
+
+def test_mock_cancelled_pending_future_never_touches_backend():
+    """True-async backends honour cancellation: a future cancelled
+    before its completion timer fires performs no side effects at all
+    (this is what makes a timed-out pending operation free to abandon)."""
+    import time
+
+    driver = MockDriver(domain="m", prepare_latency_s=0.2)
+    future = driver.prepare_async(DomainSpec(slice_id="s0", throughput_mbps=5.0))
+    assert future.cancel()
+    time.sleep(0.3)  # past the would-be completion
+    assert driver.prepares == 0
+    assert driver.reservations() == []
+    assert driver.held_mbps == 0.0
+
+
+# ----------------------------------------------------------------------
 # Concurrency conformance
 # ----------------------------------------------------------------------
 

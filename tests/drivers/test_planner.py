@@ -11,15 +11,20 @@ thread-safe backend plus prepare/commit/release failure injection.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List
 
 import pytest
 
 from repro.drivers.base import DomainSpec, ReservationState
 from repro.drivers.mock import MockDriver
-from repro.drivers.planner import BatchInstallPlanner, InstallJob
+from repro.drivers.planner import (
+    BatchInstallPlanner,
+    InstallJob,
+    ThreadedInstallPlanner,
+)
 from repro.drivers.registry import DriverRegistry
-from repro.drivers.transaction import TransactionError
+from repro.drivers.transaction import OperationTimeout
 
 
 DOMAINS = ("alpha", "beta", "gamma")
@@ -249,6 +254,17 @@ class TestConcurrencyCaps:
         assert all(o.ok for o in outcomes)
         assert probe.max_inflight <= 2
 
+    def test_both_engines_install_identically(self):
+        """The threaded baseline and the async engine implement the
+        same contract: same jobs, same registry shape, same outcomes."""
+        for planner_cls in (BatchInstallPlanner, ThreadedInstallPlanner):
+            registry = make_registry()
+            planner = planner_cls(registry, max_workers=4)
+            outcomes = planner.install([job_for(f"s{i}") for i in range(6)])
+            assert all(o.ok for o in outcomes), planner_cls.__name__
+            assert_zero_residue(registry)
+            assert planner.jobs_installed == 6
+
     def test_interleaved_batches_keep_invariant_under_failure_injection(self):
         """Two planners hammer the same registry from two threads with
         failures injected everywhere; after quiescence the conservation
@@ -288,3 +304,233 @@ class TestConcurrencyCaps:
                 if any(r.slice_id == outcome.job.slice_id for r in d.reservations())
             }
             assert held_in == (set(DOMAINS) if outcome.ok else set())
+
+
+class TestStallIsolation:
+    """One hung southbound domain must not stall the batch: the job
+    that hit it times out and unwinds cleanly, every other job commits
+    in its own latency, and the straggling operation is compensated in
+    the background once the backend comes back."""
+
+    TIMEOUT_S = 0.25
+
+    def _registry(self) -> DriverRegistry:
+        return DriverRegistry(
+            [
+                MockDriver(
+                    domain=d,
+                    capacity_mbps=10_000.0,
+                    max_concurrent_installs=8,
+                    prepare_latency_s=0.005,
+                    commit_latency_s=0.001,
+                )
+                for d in DOMAINS
+            ]
+        )
+
+    @staticmethod
+    def _wait_for(predicate, timeout_s: float = 5.0) -> bool:
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_stalled_job_times_out_while_healthy_jobs_commit(self):
+        registry = self._registry()
+        stalled_driver = registry.get("beta")
+        stalled_driver.stall()  # next beta operation hangs
+        planner = BatchInstallPlanner(
+            registry, max_workers=16, operation_timeout_s=self.TIMEOUT_S
+        )
+        jobs = [job_for(f"s{i}") for i in range(16)]
+        start = time.perf_counter()
+        outcomes = planner.install(jobs)
+        elapsed = time.perf_counter() - start
+        try:
+            failed = [o for o in outcomes if not o.ok]
+            healthy = [o for o in outcomes if o.ok]
+            # Exactly the job that hit the stall failed — with a timeout.
+            assert len(failed) == 1 and len(healthy) == 15
+            assert isinstance(failed[0].error, OperationTimeout)
+            assert "timed out" in str(failed[0].error)
+            assert planner.ops_timed_out == 1
+            # The batch settled at ~the deadline, not at stall release
+            # (which has not happened yet) — the 15 healthy jobs never
+            # waited on the hung domain.
+            assert elapsed < 3.0, f"batch took {elapsed:.2f}s under one stall"
+            assert stalled_driver.stalled_ops == 1
+        finally:
+            stalled_driver.release_stall()
+        # The straggler completes after release and is compensated:
+        # eventually the failed job holds nothing anywhere.
+        failed_id = failed[0].job.slice_id
+        assert self._wait_for(
+            lambda: all(
+                r.slice_id != failed_id
+                for driver in registry
+                for r in driver.reservations()
+            )
+        ), "late completion of the stalled operation was not compensated"
+        assert_zero_residue(registry)
+        # Healthy jobs still hold everywhere.
+        for driver in registry:
+            assert {r.slice_id for r in driver.reservations()} == {
+                o.job.slice_id for o in healthy
+            }
+
+    def test_threaded_baseline_parks_on_stall_async_engine_does_not(self):
+        """The regression the async rewrite fixes: the thread-pool
+        engine cannot settle a batch before a hung blocking call
+        returns; the event-driven engine settles at the deadline."""
+        release_after_s = 0.5
+
+        def run(planner_cls):
+            registry = self._registry()
+            stalled_driver = registry.get("beta")
+            stalled_driver.stall()
+            releaser = threading.Timer(release_after_s, stalled_driver.release_stall)
+            releaser.daemon = True
+            releaser.start()
+            planner = planner_cls(
+                registry, max_workers=8, operation_timeout_s=0.1
+            )
+            start = time.perf_counter()
+            outcomes = planner.install([job_for(f"s{i}") for i in range(8)])
+            elapsed = time.perf_counter() - start
+            releaser.cancel()
+            stalled_driver.release_stall()
+            return elapsed, outcomes
+
+        async_elapsed, async_outcomes = run(BatchInstallPlanner)
+        threaded_elapsed, threaded_outcomes = run(ThreadedInstallPlanner)
+        # Threaded: the parked worker holds the batch until the stall
+        # releases (then every job commits).  Async: the batch settles
+        # at the deadline, healthy jobs long since committed.
+        assert threaded_elapsed >= release_after_s - 0.05
+        assert async_elapsed < threaded_elapsed
+        assert all(o.ok for o in threaded_outcomes)
+        assert sum(o.ok for o in async_outcomes) == 7
+        assert sum(isinstance(o.error, OperationTimeout)
+                   for o in async_outcomes if not o.ok) == 1
+
+    def test_deadline_covers_token_queueing_on_serial_driver(self):
+        """The deadline clock starts at submission, not at token grant:
+        on a cap-1 (serial) driver, jobs queued behind a hung operation
+        time out too instead of wedging the whole batch — the regression
+        the real adapters (all serial) would otherwise hit."""
+        registry = DriverRegistry(
+            [MockDriver(domain="serial", capacity_mbps=1e9,
+                        max_concurrent_installs=1)]
+        )
+        driver = registry.get("serial")
+        driver.stall()
+        planner = BatchInstallPlanner(
+            registry, max_workers=8, operation_timeout_s=0.15
+        )
+        jobs = [
+            InstallJob(
+                slice_id=f"s{i}",
+                attempts=[{"serial": DomainSpec(slice_id=f"s{i}",
+                                                throughput_mbps=1.0)}],
+            )
+            for i in range(4)
+        ]
+        start = time.perf_counter()
+        outcomes = planner.install(jobs)
+        elapsed = time.perf_counter() - start
+        try:
+            assert all(not o.ok for o in outcomes)
+            assert all(isinstance(o.error, OperationTimeout) for o in outcomes)
+            assert planner.ops_timed_out == 4
+            assert elapsed < 3.0, f"queued jobs wedged for {elapsed:.2f}s"
+        finally:
+            driver.release_stall()
+        # Only the op that actually held the token launched; its late
+        # completion is compensated, the queued ones never ran.
+        assert self._wait_for(
+            lambda: all(not d.reservations() for d in registry)
+        )
+        assert driver.prepares <= 1
+
+    def test_timeout_fails_the_job_without_retrying_attempts(self):
+        """A hung domain fails the *job*, not just the attempt: further
+        candidate-DC attempts would hammer the hung backend and trip
+        the per-slice in-flight guard while the straggler is still out,
+        masking the timeout behind a confusing refusal."""
+        registry = self._registry()
+        stalled_driver = registry.get("beta")
+        stalled_driver.stall()
+        planner = BatchInstallPlanner(registry, operation_timeout_s=0.15)
+        (outcome,) = planner.install([job_for("s0", attempts=3)])
+        try:
+            assert not outcome.ok
+            assert isinstance(outcome.error, OperationTimeout)
+            # Attempts 2 and 3 never ran: the straggler is still parked
+            # (its counter bumps only past the stall gate) and no other
+            # beta prepare was issued.
+            assert stalled_driver.prepares == 0
+            assert registry.get("alpha").prepares == 1
+        finally:
+            stalled_driver.release_stall()
+        assert self._wait_for(
+            lambda: all(
+                not driver.reservations() for driver in registry
+            )
+        )
+
+    def test_hung_rollback_during_unwind_does_not_block_settlement(self):
+        """The unwind chain is deadline-covered too: a backend that
+        hangs *during rollback* costs the job its deadline, not the
+        batch its liveness — and the late rollback, being itself the
+        compensation, still lands once the backend returns."""
+        registry = self._registry()
+        registry.get("gamma").fail_next_prepare = 1  # forces an unwind
+        hung = registry.get("beta")
+        hung.stall(kinds=("rollback",))  # forward path runs; unwind hangs
+        planner = BatchInstallPlanner(registry, operation_timeout_s=0.15)
+        start = time.perf_counter()
+        (outcome,) = planner.install([job_for("s0")])
+        elapsed = time.perf_counter() - start
+        try:
+            assert not outcome.ok
+            assert "unwind also failed" in str(outcome.error)
+            assert "timed out" in str(outcome.error)
+            assert elapsed < 3.0, f"hung rollback held the batch {elapsed:.2f}s"
+            # alpha's compensation landed on time; beta's is parked.
+            assert registry.get("alpha").rollbacks == 1
+        finally:
+            hung.release_stall()
+        # The parked rollback completes after release — it *is* the
+        # compensation, so the residue clears without further action.
+        assert self._wait_for(
+            lambda: all(not driver.reservations() for driver in registry)
+        )
+        assert hung.held_mbps == 0.0
+
+    def test_timed_out_pending_operation_is_cancelled_without_side_effects(self):
+        """A deadline shorter than the emulated latency cancels the
+        still-pending future: the backend is never touched, so there is
+        nothing to compensate."""
+        registry = DriverRegistry(
+            [
+                MockDriver(
+                    domain="slow",
+                    capacity_mbps=1_000.0,
+                    prepare_latency_s=0.5,
+                )
+            ]
+        )
+        planner = BatchInstallPlanner(registry, operation_timeout_s=0.05)
+        job = InstallJob(
+            slice_id="s0", attempts=[{"slow": DomainSpec(slice_id="s0")}]
+        )
+        (outcome,) = planner.install([job])
+        assert not outcome.ok
+        assert isinstance(outcome.error, OperationTimeout)
+        driver = registry.get("slow")
+        time.sleep(0.6)  # past the would-be completion
+        assert driver.prepares == 0
+        assert driver.reservations() == []
+        assert planner.ops_compensated == 0

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.admission import KnapsackPolicy
 from repro.core.overbooking import FixedOverbooking, NoOverbooking
-from repro.experiments.runner import ScenarioConfig, ScenarioRunner, run_scenario
+from repro.experiments.runner import ScenarioConfig, run_scenario
 
 
 def quick_config(**overrides):

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cloud.datacenter import DatacenterTier
 from repro.experiments.testbed import TestbedConfig, build_testbed

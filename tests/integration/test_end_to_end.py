@@ -2,14 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.admission import FcfsPolicy, OverbookingAwarePolicy
 from repro.core.orchestrator import Orchestrator, OrchestratorConfig
 from repro.core.overbooking import FixedOverbooking, ForecastOverbooking, NoOverbooking
 from repro.core.slices import ServiceType, SliceState
 from repro.experiments.runner import ScenarioConfig, run_scenario
-from repro.experiments.testbed import build_testbed
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.traffic.generator import RequestMix

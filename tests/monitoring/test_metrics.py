@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.monitoring.collector import TelemetryCollector
 from repro.monitoring.metrics import MetricsRegistry

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+import os
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.admission import FcfsPolicy, KnapsackPolicy
@@ -16,8 +16,13 @@ from repro.sim.randomness import RandomStreams
 from repro.traffic.patterns import ConstantProfile
 from tests.conftest import make_request
 
+#: The nightly CI flake-hunt multiplies every property suite's example
+#: budget (HYPOTHESIS_EXAMPLE_MULTIPLIER=5) without touching the fast
+#: per-push defaults.
+EXAMPLE_MULTIPLIER = int(os.environ.get("HYPOTHESIS_EXAMPLE_MULTIPLIER", "1"))
+
 SLOW = settings(
-    max_examples=12,
+    max_examples=12 * EXAMPLE_MULTIPLIER,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )

@@ -15,8 +15,9 @@ rollback invariant the sequential transaction tests pin down.
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Dict, List
+from typing import List
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -28,8 +29,13 @@ from repro.drivers.registry import DriverRegistry
 
 DOMAINS = ("radio", "path", "compute")
 
+#: The nightly CI flake-hunt multiplies every property suite's example
+#: budget (HYPOTHESIS_EXAMPLE_MULTIPLIER=5) without touching the fast
+#: per-push defaults.
+EXAMPLE_MULTIPLIER = int(os.environ.get("HYPOTHESIS_EXAMPLE_MULTIPLIER", "1"))
+
 SLOW = settings(
-    max_examples=12,
+    max_examples=12 * EXAMPLE_MULTIPLIER,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ran.prb import PRB_GRID, PrbError, PrbGrid, prbs_for_bandwidth
+from repro.ran.prb import PrbError, PrbGrid, prbs_for_bandwidth
 
 
 class TestGridTable:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.transport.links import Link, LinkKind
+from repro.transport.links import Link
 from repro.transport.paths import (
     PathComputationError,
     PathRequest,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.orchestrator import Orchestrator, OrchestratorConfig
-from repro.experiments.testbed import build_testbed
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.transport.controller import TransportError

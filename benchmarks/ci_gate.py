@@ -11,6 +11,11 @@ asserted floor is broken:
 - **D8d** — stall isolation: with one southbound operation hung, the
   async engine must settle the batch well before the threaded-planner
   baseline can (which parks a worker until the backend comes back).
+- **D12** — crash recovery: snapshot+tail restore must stay ≥ 2×
+  faster than full-journal replay at 1k records, and a SIGKILL-style
+  recovery smoke (churn → crash → fresh control plane → reconcile)
+  must come back with zero lost slices and zero leaked reservations;
+  the measured recovery time is published in the artifact.
 
 The floors are deliberately *below* the full-scale assertions in
 ``bench_d8_scalability.py`` (2.0× at 32 slices) so the gate is robust
@@ -35,7 +40,13 @@ import sys
 # reads the knobs at import time).
 os.environ.setdefault("D8_BATCH_SLICES", "16")
 os.environ.setdefault("D8_STALL_JOBS", "16")
+os.environ.setdefault("D12_RECORDS", "1000")
 
+from benchmarks.bench_d12_recovery import (  # noqa: E402
+    ASSERT_AT as D12_RECORDS,
+    FLOOR_SPEEDUP as FLOOR_D12_SPEEDUP,
+    run_point as run_d12_point,
+)
 from benchmarks.bench_d8_scalability import (  # noqa: E402
     BATCH_SLICES,
     STALL_JOBS,
@@ -52,6 +63,103 @@ from repro.drivers.planner import (  # noqa: E402
 #: Asserted regression floors (see module docstring for the rationale).
 FLOOR_D8B_SPEEDUP = 1.5
 FLOOR_D8D_ISOLATION = 1.5
+
+#: Slices churned through the recovery smoke.
+SMOKE_SLICES = 8
+
+
+def run_recovery_smoke(failures: list) -> dict:
+    """Churn → SIGKILL-simulated restart (fresh process state over the
+    surviving southbound) → reconcile; returns the timing payload and
+    appends any reconciliation failure to ``failures``."""
+    import tempfile
+    import time
+
+    from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+    from repro.core.slices import PlmnPool
+    from repro.drivers.base import ReservationState
+    from repro.drivers.mock import MockDriver
+    from repro.experiments.testbed import TestbedConfig, build_testbed
+    from repro.sim.engine import Simulator
+    from repro.sim.randomness import RandomStreams
+    from repro.store import ControlPlaneStore, RecoveryManager
+    from repro.traffic.patterns import ConstantProfile
+    from tests.conftest import make_request
+
+    testbed = build_testbed(
+        TestbedConfig(n_enbs=4, max_plmns_per_enb=12, plmn_pool_size=40)
+    )
+    testbed.registry.register(
+        MockDriver("firewall", capacity_mbps=1e6, max_concurrent_installs=8)
+    )
+    directory = tempfile.mkdtemp(prefix="recovery-smoke-")
+
+    def control_plane(store=None) -> Orchestrator:
+        return Orchestrator(
+            sim=Simulator(),
+            allocator=testbed.allocator,
+            plmn_pool=PlmnPool(size=40),
+            config=OrchestratorConfig(durability_dir=directory),
+            streams=RandomStreams(seed=11),
+            registry=testbed.registry,
+            store=store,
+        )
+
+    first = control_plane()
+    first.start()
+    decisions = first.install_admitted_batch(
+        [
+            (make_request(throughput_mbps=5.0), ConstantProfile(5.0))
+            for _ in range(SMOKE_SLICES)
+        ]
+    )
+    admitted = sum(d.admitted for d in decisions)
+    first.submit_advance(
+        make_request(throughput_mbps=5.0, duration_s=600.0),
+        ConstantProfile(5.0),
+        start_time=1_000.0,
+    )
+    first.enqueue_admitted(
+        make_request(throughput_mbps=5.0), ConstantProfile(5.0)
+    )
+    first.store.close()  # SIGKILL: the dead process's writes never land
+
+    restarted = control_plane(store=ControlPlaneStore(directory))
+    restarted.start()
+    start = time.perf_counter()
+    report = RecoveryManager(restarted).restore()
+    recovery_s = time.perf_counter() - start
+
+    live_ids = {s.slice_id for s in restarted.live_slices()}
+    if report.slices_lost or report.slices_adopted != admitted:
+        failures.append(
+            f"recovery smoke: adopted {report.slices_adopted}/{admitted}, "
+            f"lost {report.slices_lost}"
+        )
+    if report.bookings_restored != 1 or report.admissions_requeued != 1:
+        failures.append(
+            f"recovery smoke: bookings_restored={report.bookings_restored}, "
+            f"admissions_requeued={report.admissions_requeued} (1/1 expected)"
+        )
+    for driver in testbed.registry.drivers():
+        reservations = driver.list_reservations()
+        leaked = {r.slice_id for r in reservations} - live_ids
+        dirty = [
+            r for r in reservations
+            if r.state is not ReservationState.COMMITTED
+        ]
+        if leaked or dirty:
+            failures.append(
+                f"recovery smoke: domain {driver.domain} leaked={sorted(leaked)} "
+                f"non-committed={len(dirty)}"
+            )
+    return {
+        "slices": admitted,
+        "replayed_records": report.replayed_records,
+        "slices_adopted": report.slices_adopted,
+        "slices_lost": report.slices_lost,
+        "recovery_s": round(recovery_s, 4),
+    }
 
 
 def run_gate() -> dict:
@@ -82,6 +190,16 @@ def run_gate() -> dict:
             f"D8d: async engine took {async_s:.2f}s — it waited out the stall"
         )
 
+    import tempfile
+
+    d12 = run_d12_point(tempfile.mkdtemp(prefix="d12-gate-"), D12_RECORDS)
+    if d12["speedup"] < FLOOR_D12_SPEEDUP:
+        failures.append(
+            f"D12: snapshot recovery speedup {d12['speedup']:.2f}x < floor "
+            f"{FLOOR_D12_SPEEDUP}x at {d12['records']} records"
+        )
+    smoke = run_recovery_smoke(failures)
+
     return {
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -104,6 +222,15 @@ def run_gate() -> dict:
             "isolation": round(d8d_isolation, 2),
             "floor": FLOOR_D8D_ISOLATION,
         },
+        "d12": {
+            "journal_records": d12["records"],
+            "live_slices": d12["live"],
+            "full_replay_ms": round(d12["full_ms"], 3),
+            "snapshot_ms": round(d12["snapshot_ms"], 3),
+            "speedup": round(d12["speedup"], 2),
+            "floor": FLOOR_D12_SPEEDUP,
+        },
+        "recovery_smoke": smoke,
         "failures": failures,
         "ok": not failures,
     }
@@ -127,7 +254,9 @@ def main(argv=None) -> int:
     print(
         f"\nperf gate ok: D8b {payload['d8b']['speedup']}x "
         f"(floor {FLOOR_D8B_SPEEDUP}x), "
-        f"D8d {payload['d8d']['isolation']}x (floor {FLOOR_D8D_ISOLATION}x)"
+        f"D8d {payload['d8d']['isolation']}x (floor {FLOOR_D8D_ISOLATION}x), "
+        f"D12 {payload['d12']['speedup']}x (floor {FLOOR_D12_SPEEDUP}x), "
+        f"recovery smoke {payload['recovery_smoke']['recovery_s']}s"
     )
     return 0
 

@@ -228,6 +228,20 @@ class SliceService:
         # request_id -> (tenant, throughput_mbps) for API-created advance
         # bookings; pruned lazily once the calendar drops the booking.
         self._bookings: Dict[str, Tuple[str, float]] = {}
+        # Quotas recovered before this service existed (a service-less
+        # RecoveryManager.restore) seed the table; explicit constructor
+        # quotas win.
+        for tenant_id, payload in orchestrator.recovered_quotas.items():
+            self.quotas.setdefault(
+                tenant_id,
+                TenantQuota(
+                    max_active_slices=payload.get("max_active_slices"),
+                    max_aggregate_mbps=payload.get("max_aggregate_mbps"),
+                ),
+            )
+        # Tenant quotas ride along in every durability checkpoint, so a
+        # recovered control plane enforces the same ceilings.
+        orchestrator.durable_sections["quotas"] = self._quota_state
 
     # ------------------------------------------------------------------
     # Quotas
@@ -235,6 +249,48 @@ class SliceService:
     def quota_for(self, tenant_id: str) -> Optional[TenantQuota]:
         """The quota applying to ``tenant_id`` (None = unlimited)."""
         return self.quotas.get(tenant_id, self.default_quota)
+
+    def set_quota(
+        self,
+        tenant_id: str,
+        max_active_slices: Optional[int] = None,
+        max_aggregate_mbps: Optional[float] = None,
+    ) -> TenantQuota:
+        """Install (or replace) a tenant's quota — journaled, so the
+        ceiling survives an orchestrator restart."""
+        quota = TenantQuota(
+            max_active_slices=max_active_slices,
+            max_aggregate_mbps=max_aggregate_mbps,
+        )
+        self.quotas[tenant_id] = quota
+        self.orchestrator.store.append(
+            "quota.set",
+            time=self.orchestrator.sim.now,
+            tenant_id=tenant_id,
+            max_active_slices=max_active_slices,
+            max_aggregate_mbps=max_aggregate_mbps,
+        )
+        return quota
+
+    def _quota_state(self) -> Dict[str, Dict[str, Any]]:
+        """Checkpoint section: every explicit per-tenant quota."""
+        return {
+            tenant: {
+                "max_active_slices": quota.max_active_slices,
+                "max_aggregate_mbps": quota.max_aggregate_mbps,
+            }
+            for tenant, quota in self.quotas.items()
+        }
+
+    def apply_recovered_quotas(self, quotas: Dict[str, Dict[str, Any]]) -> int:
+        """Re-apply journaled quotas after a restart (recovery path);
+        returns how many tenants were restored."""
+        for tenant_id, payload in quotas.items():
+            self.quotas[tenant_id] = TenantQuota(
+                max_active_slices=payload.get("max_active_slices"),
+                max_aggregate_mbps=payload.get("max_aggregate_mbps"),
+            )
+        return len(quotas)
 
     def _request_installed(self, request_id: str) -> bool:
         """Whether a request's install already fired (a slice record —
@@ -675,10 +731,23 @@ class SliceService:
         query: Dict[str, str],
         tenant_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """The event feed page for ``GET /v1/events``."""
+        """The event feed page for ``GET /v1/events``.
+
+        Two cursors:
+
+        - ``since=<seq>`` — the in-memory feed (bounded buffer; fast,
+          but a consumer that falls behind sees a gap);
+        - ``after_lsn=<lsn>`` — the **durable** cursor: events are
+          replayed from the write-ahead journal, so a consumer can
+          resume across orchestrator restarts and beyond the in-memory
+          buffer.  Replay reaches back to the latest checkpoint
+          (``replay_floor_lsn``); requires durability to be enabled.
+        """
         log = self.orchestrator.events
-        cursor = parse_int_param(query, "since", default=0, minimum=0)
         limit = parse_int_param(query, "limit", default=100, minimum=1, maximum=1000)
+        if "after_lsn" in query:
+            return self._events_after_lsn(query, tenant_id, limit)
+        cursor = parse_int_param(query, "since", default=0, minimum=0)
         # Tenant-filter BEFORE limiting: a short page then means "scanned
         # to the end", so advancing the cursor to the last returned seq
         # (or last_seq on an empty page) never skips the tenant's events.
@@ -692,6 +761,39 @@ class SliceService:
             "events": [e.to_dict() for e in events],
             "last_seq": log.last_seq,
             "first_retained_seq": log.first_seq,
+        }
+
+    def _events_after_lsn(
+        self, query: Dict[str, str], tenant_id: Optional[str], limit: int
+    ) -> Dict[str, Any]:
+        """Durable event replay from the journal (see
+        :meth:`events_since`)."""
+        store = self.orchestrator.store
+        if not store.enabled:
+            raise ValidationError(
+                "invalid_parameter",
+                "after_lsn requires durability (no durability_dir configured)",
+                field="after_lsn",
+            )
+        after_lsn = parse_int_param(query, "after_lsn", default=0, minimum=0)
+        # Tenant-filter BEFORE limiting, same contract as the in-memory
+        # path: a short page means "scanned to the end of the journal",
+        # and only then is last_lsn a safe cursor to jump to — otherwise
+        # consumers advance to the last *returned* event's lsn.  Without
+        # a tenant filter the limit pushes down into the journal scan.
+        if tenant_id is None:
+            pairs = store.events_after(after_lsn, limit=limit)
+        else:
+            pairs = [
+                (lsn, e)
+                for lsn, e in store.events_after(after_lsn)
+                if e.get("tenant_id") is None or e.get("tenant_id") == tenant_id
+            ][:limit]
+        return {
+            "events": [dict(event, lsn=lsn) for lsn, event in pairs],
+            "last_lsn": store.last_lsn,
+            "replay_floor_lsn": store.snapshot_lsn,
+            "last_seq": self.orchestrator.events.last_seq,
         }
 
     # ------------------------------------------------------------------
@@ -715,6 +817,47 @@ class SliceService:
                 f"unknown domain {name!r}; valid: {sorted(registry.domains())}"
             )
         return registry.get(name).utilization()
+
+    # ------------------------------------------------------------------
+    # Admin surface (operator-scoped; see docs/API.md)
+    # ------------------------------------------------------------------
+    def admin_state(self) -> dict:
+        """Durability + control-plane health for ``GET /v1/admin/state``."""
+        orchestrator = self.orchestrator
+        live = orchestrator.live_slices()
+        return {
+            "durability": orchestrator.store.status(),
+            "control_plane": {
+                "time": orchestrator.sim.now,
+                "live_slices": len(live),
+                "active_slices": len(orchestrator.active_slices()),
+                "pending_installs": orchestrator.pending_installs,
+                "pending_bookings": len(orchestrator.calendar.bookings()),
+                "plmn_available": orchestrator.plmn_pool.available,
+                "quota_tenants": sorted(self.quotas),
+            },
+            "planner": {
+                "batches_run": orchestrator.planner.batches_run,
+                "jobs_installed": orchestrator.planner.jobs_installed,
+                "jobs_failed": orchestrator.planner.jobs_failed,
+                "ops_timed_out": orchestrator.planner.ops_timed_out,
+                "ops_compensated": orchestrator.planner.ops_compensated,
+            },
+        }
+
+    def checkpoint(self) -> dict:
+        """Force a snapshot + journal compaction
+        (``POST /v1/admin/checkpoint``).
+
+        Raises:
+            Conflict: When durability is disabled — there is nothing
+                to checkpoint a memory-only control plane into.
+        """
+        if not self.orchestrator.store.enabled:
+            raise Conflict(
+                "durability is disabled (no durability_dir configured)"
+            )
+        return self.orchestrator.checkpoint()
 
 
 __all__ = [

@@ -20,7 +20,11 @@ Endpoints (full reference in ``docs/API.md``):
   /v1/bookings`` lists pending API-created bookings; ``DELETE
   /v1/bookings/{booking_id}`` withdraws one.
 - ``GET /v1/operations[/{op_id}]`` — poll async operations.
-- ``GET /v1/events?since=N`` — the bounded orchestration event feed.
+- ``GET /v1/events?since=N`` — the bounded orchestration event feed;
+  ``?after_lsn=N`` replays from the durable journal instead, so
+  consumers can resume across orchestrator restarts.
+- ``GET /v1/admin/state`` / ``POST /v1/admin/checkpoint`` — operator
+  surface over the durable control-plane store.
 - ``POST /v1/whatif`` — feasibility probe.
 - ``GET /v1/dashboard`` / ``GET /v1/domains/{domain}`` — observability.
 
@@ -220,6 +224,12 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
     def get_dashboard(request: Request) -> Response:
         return Response(status=200, body=service.dashboard())
 
+    def get_admin_state(request: Request) -> Response:
+        return Response(status=200, body=service.admin_state())
+
+    def post_admin_checkpoint(request: Request) -> Response:
+        return Response(status=200, body=service.checkpoint())
+
     def get_domain(request: Request) -> Response:
         return Response(status=200, body=service.domain(request.params["domain"]))
 
@@ -251,6 +261,8 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
     api.route("GET", "/v1/events", _guarded(get_events))
     api.route("GET", "/v1/dashboard", _guarded(get_dashboard))
     api.route("GET", "/v1/domains/{domain}", _guarded(get_domain))
+    api.route("GET", "/v1/admin/state", _guarded(get_admin_state))
+    api.route("POST", "/v1/admin/checkpoint", _guarded(post_admin_checkpoint))
     return api
 
 

@@ -18,7 +18,7 @@ boundary inside it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.admission import ResourceVector
 
@@ -104,6 +104,11 @@ class ResourceCalendar:
     def has(self, booking_id: str) -> bool:
         """Whether the booking exists."""
         return booking_id in self._bookings
+
+    def get(self, booking_id: str) -> Optional[Booking]:
+        """The booking, or None — used by the durability checkpoint to
+        capture each live slice's promised window."""
+        return self._bookings.get(booking_id)
 
     def bookings(self) -> List[Booking]:
         """All bookings, start-ordered."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 
 class EventLogError(RuntimeError):
@@ -65,6 +65,10 @@ class EventLog:
         self.capacity = int(capacity)
         self._events: Deque[OrchestrationEvent] = deque(maxlen=self.capacity)
         self._next_seq = 1
+        #: Optional durability tee: called with every appended event
+        #: (the orchestrator journals it, which is what backs the
+        #: ``GET /v1/events?after_lsn=`` durable cursor).
+        self.sink: Optional[Callable[[OrchestrationEvent], None]] = None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -98,7 +102,15 @@ class EventLog:
         )
         self._next_seq += 1
         self._events.append(event)
+        if self.sink is not None:
+            self.sink(event)
         return event
+
+    def resume_from(self, seq: int) -> None:
+        """Continue numbering after ``seq`` (crash recovery: consumers
+        hold cursors into the pre-crash feed, so seq numbers must keep
+        rising monotonically across the restart)."""
+        self._next_seq = max(self._next_seq, int(seq) + 1)
 
     def since(
         self, cursor: int = 0, limit: Optional[int] = None

@@ -76,6 +76,7 @@ from repro.core.slices import (
     PlmnPoolExhausted,
     SliceRequest,
     SliceState,
+    peek_request_counter,
 )
 from repro.epc.attach import AttachProcedure
 from repro.epc.instance import EpcInstance
@@ -84,6 +85,8 @@ from repro.monitoring.metrics import MetricsRegistry
 from repro.ran.controller import PlannedCellLoad
 from repro.ran.ue import UserEquipment
 from repro.sim.engine import Simulator
+from repro.store.codec import request_to_dict
+from repro.store.store import ControlPlaneStore, NullStore, open_store
 from repro.sim.processes import PeriodicProcess
 from repro.sim.randomness import RandomStreams
 from repro.traffic.patterns import TrafficProfile
@@ -130,6 +133,23 @@ class OrchestratorConfig:
             completes.  Drivers declaring their own
             ``DriverCapabilities.operation_timeout_s`` override it;
             ``None`` waits forever (the blocking path's behavior).
+        durability_dir: Root directory of the durable control-plane
+            store (write-ahead journal + snapshots).  ``None`` (the
+            default) keeps the control plane memory-only, exactly the
+            pre-durability behavior; set it and every state transition
+            is journaled before it is acknowledged, making
+            restart-without-losing-slices possible (see
+            :mod:`repro.store` and ``docs/ARCHITECTURE.md``).
+        checkpoint_every_records: Auto-checkpoint threshold — once this
+            many journal records accumulate past the latest snapshot,
+            the monitoring loop writes a full-state snapshot and
+            compacts the journal (bounding recovery time by
+            churn-since-checkpoint, the gap benchmark D12 measures).
+            ``0`` disables auto-checkpoints.
+        journal_fsync_every: Journal group-commit size: fsync every N
+            appended records (every append is still flushed to the OS
+            immediately).  ``1`` = fully synchronous, ``0`` = never
+            fsync.
     """
 
     monitoring_epoch_s: float = 60.0
@@ -145,6 +165,9 @@ class OrchestratorConfig:
     install_workers: int = 8
     install_batch_size: int = 16
     install_timeout_s: Optional[float] = None
+    durability_dir: Optional[str] = None
+    checkpoint_every_records: int = 512
+    journal_fsync_every: int = 32
 
 
 @dataclass
@@ -177,6 +200,7 @@ class Orchestrator:
         streams: Optional[RandomStreams] = None,
         registry: Optional[DriverRegistry] = None,
         planner: Optional[BatchInstallPlanner] = None,
+        store: Optional["ControlPlaneStore | NullStore"] = None,
     ) -> None:
         self.sim = sim
         self.allocator = allocator
@@ -206,6 +230,29 @@ class Orchestrator:
         from repro.core.calendar import ResourceCalendar
 
         self.calendar = ResourceCalendar(allocator.aggregate_capacity_vector())
+        # Durable control plane: every state transition is journaled
+        # (write-ahead) before it is acknowledged; a NullStore makes
+        # all of this free when no durability_dir is configured.
+        self.store = store if store is not None else open_store(
+            self.config.durability_dir,
+            fsync_every=self.config.journal_fsync_every,
+            checkpoint_every=self.config.checkpoint_every_records,
+        )
+        #: Extra state sections (name → provider) merged into every
+        #: checkpoint — the service layer registers its tenant quotas
+        #: here so they survive restarts too.
+        self.durable_sections: Dict[str, Callable[[], dict]] = {}
+        #: Tenant quotas recovered from the journal before any service
+        #: layer exists — a later :class:`~repro.api.service.
+        #: SliceService` seeds itself from (and then supersedes) this,
+        #: and checkpoints carry it meanwhile so quotas can never be
+        #: compacted away by a service-less restart.
+        self.recovered_quotas: Dict[str, dict] = {}
+        self.durable_sections["quotas"] = lambda: self.recovered_quotas
+        if self.store.enabled:
+            # Tee the northbound feed into the journal: this is what
+            # backs the durable GET /v1/events?after_lsn= cursor.
+            self.events.sink = self._journal_event
         # Fleet-scale installs: admission bursts (broker windows, the
         # epoch-drained admission queue) run through the event-driven
         # async batch planner instead of looping slice-by-slice.
@@ -214,6 +261,7 @@ class Orchestrator:
             max_workers=self.config.install_workers,
             batch_size=self.config.install_batch_size,
             operation_timeout_s=self.config.install_timeout_s,
+            on_record=self._journal_driver_record if self.store.enabled else None,
         )
         self._runtimes: Dict[str, SliceRuntime] = {}
         self._all_slices: Dict[str, NetworkSlice] = {}
@@ -221,6 +269,9 @@ class Orchestrator:
         #: next batched install (drained every monitoring epoch).
         self._admission_queue: List[Tuple[SliceRequest, TrafficProfile, Optional[Callable[[AdmissionDecision], None]]]] = []
         self._pending_advance: Dict[str, float] = {}  # request_id -> start_time
+        #: request objects of pending advance bookings (checkpointed so
+        #: promises survive a restart).
+        self._advance_requests: Dict[str, SliceRequest] = {}
         # slice_id -> (slice, domains whose backend refused to release)
         self._stuck_releases: Dict[str, Tuple[NetworkSlice, List[str]]] = {}
         self._epoch_counter = 0
@@ -241,6 +292,276 @@ class Orchestrator:
     def stop(self) -> None:
         """Halt the monitoring loop."""
         self._monitor_process.stop()
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead journal + snapshots + recovery support)
+    # ------------------------------------------------------------------
+    def _journal(self, record_type: str, **data) -> int:
+        """Write-ahead one control-plane transition (no-op when the
+        store is a :class:`~repro.store.store.NullStore`)."""
+        return self.store.append(record_type, time=self.sim.now, **data)
+
+    def _journal_event(self, event) -> None:
+        """EventLog sink: tee every northbound event into the journal
+        (backs the durable ``GET /v1/events?after_lsn=`` cursor)."""
+        self.store.append("event.emitted", time=event.time, event=event.to_dict())
+
+    def _journal_driver_record(
+        self, record_type: str, domain: str, slice_id: str, reservation_id: str
+    ) -> None:
+        """Planner durability hook: per-driver reservation transitions,
+        called from completion threads (the journal is thread-safe)."""
+        self.store.append(
+            record_type,
+            time=self.sim.now,
+            domain=domain,
+            slice_id=slice_id,
+            reservation_id=reservation_id,
+        )
+
+    def durable_state(self) -> dict:
+        """The full-state checkpoint image (the
+        :class:`~repro.store.codec.ReplayState` shape): live slices,
+        the admission queue, pending advance bookings, and any
+        registered extra sections (tenant quotas)."""
+        live: Dict[str, dict] = {}
+        for slice_id, runtime in self._runtimes.items():
+            network_slice = runtime.network_slice
+            if network_slice.state not in (
+                SliceState.ADMITTED, SliceState.DEPLOYING, SliceState.ACTIVE
+            ):
+                continue
+            request = network_slice.request
+            booking = self.calendar.get(request.request_id)
+            live[slice_id] = {
+                "request": request_to_dict(request),
+                "plmn": network_slice.plmn.plmn_id if network_slice.plmn else None,
+                "fraction": runtime.effective_fraction,
+                "status": "active"
+                if network_slice.state is SliceState.ACTIVE
+                else "installed",
+                "installed_at": network_slice.admitted_at
+                if network_slice.admitted_at is not None
+                else self.sim.now,
+                "activated_at": network_slice.active_at,
+                "window": [booking.start, booking.end] if booking else None,
+                "reservations": {
+                    domain: r.reservation_id
+                    for domain, r in runtime.reservations.items()
+                },
+            }
+        state = {
+            "time": self.sim.now,
+            "live": live,
+            "in_flight": {},
+            "queued": {
+                request.request_id: request_to_dict(request)
+                for request, _, _ in self._admission_queue
+            },
+            "advance": {
+                request_id: {
+                    "request": request_to_dict(request),
+                    "start_time": self._pending_advance.get(request_id, 0.0),
+                }
+                for request_id, request in self._advance_requests.items()
+                if request_id in self._pending_advance
+            },
+            "last_event_seq": self.events.last_seq,
+            # High-water mark of issued request ordinals: a snapshot-only
+            # restore must never re-issue an id, even when every slice
+            # that carried it already terminated.
+            "last_request_ordinal": peek_request_counter() - 1,
+        }
+        for name, provider in self.durable_sections.items():
+            state[name] = provider()
+        return state
+
+    def checkpoint(self) -> dict:
+        """Write a full-state snapshot and compact the journal.
+
+        Raises:
+            OrchestratorError: When durability is disabled.
+        """
+        if not self.store.enabled:
+            raise OrchestratorError(
+                "durability is disabled (no durability_dir configured)"
+            )
+        lsn = self.store.checkpoint(self.durable_state())
+        self.metrics.record(self.sim.now, "store.checkpoint_lsn", float(lsn))
+        return {
+            "checkpoint_lsn": lsn,
+            "time": self.sim.now,
+            "records_since_checkpoint": self.store.records_since_checkpoint,
+        }
+
+    def _drain_planner_events(self) -> None:
+        """Surface the planner's buffered incidents (op timeouts,
+        background compensations) on the northbound feed — on this
+        thread, never a completion thread."""
+        drain = getattr(self.planner, "drain_events", None)
+        if drain is None:
+            return
+        for event_type, payload in drain():
+            slice_id = payload.pop("slice_id", None)
+            record = self._all_slices.get(slice_id) if slice_id else None
+            self.events.emit(
+                self.sim.now,
+                event_type,
+                slice_id=slice_id,
+                tenant_id=record.request.tenant_id if record else None,
+                **payload,
+            )
+
+    def default_profile(self, request: SliceRequest) -> TrafficProfile:
+        """The vertical-preset traffic profile for a request — what
+        recovery (and re-enqueued admissions) attach when the original
+        profile object died with the old process."""
+        from repro.traffic.verticals import vertical_for
+
+        spec = vertical_for(request.service_type)
+        rng = self.streams.stream(f"profile-{request.request_id}")
+        return spec.sample_profile(request.sla.throughput_mbps, rng)
+
+    def adopt_recovered_slice(
+        self,
+        request: SliceRequest,
+        *,
+        plmn_id: Optional[str],
+        fraction: float,
+        reservations: Dict[str, Reservation],
+        profile: Optional[TrafficProfile] = None,
+        active_remaining_s: Optional[float] = None,
+        deploy_remaining_s: Optional[float] = None,
+        window_remaining_s: Optional[float] = None,
+    ) -> NetworkSlice:
+        """Re-adopt a slice the southbound still holds COMMITTED after
+        a restart: rebuild its runtime around the drivers' live
+        reservations (nothing is re-prepared), re-claim its PLMN,
+        re-promise its calendar window, and restart its lifecycle
+        clocks rebased onto the new sim clock.
+
+        Args:
+            active_remaining_s: Seconds of ACTIVE lifetime left (the
+                slice was ACTIVE at the crash); ``None`` for a slice
+                still pending activation.
+            deploy_remaining_s: Seconds until activation for a slice
+                adopted as DEPLOYING (defaults to ``deploy_time_s``).
+            window_remaining_s: Seconds until the calendar promise
+                ends (computed from the lifecycle when omitted).
+        """
+        network_slice = NetworkSlice(request)
+        slice_id = network_slice.slice_id
+        self._all_slices[slice_id] = network_slice
+        if plmn_id:
+            network_slice.plmn = self.plmn_pool.claim(slice_id, plmn_id)
+        now = self.sim.now
+        network_slice.transition(SliceState.ADMITTED, now)
+        network_slice.allocation = self._compose_allocation(reservations)
+        runtime = SliceRuntime(
+            network_slice=network_slice,
+            profile=profile or self.default_profile(request),
+            effective_fraction=fraction,
+            reservations=dict(reservations),
+        )
+        epc_reservation = reservations.get("epc")
+        if epc_reservation is not None:
+            runtime.epc = epc_reservation.details.get("instance")
+        self._runtimes[slice_id] = runtime
+        if self.config.respect_calendar and not self.calendar.has(request.request_id):
+            if window_remaining_s is None:
+                if active_remaining_s is not None:
+                    window_remaining_s = active_remaining_s
+                else:
+                    deploy_left = (
+                        self.config.deploy_time_s
+                        if deploy_remaining_s is None
+                        else deploy_remaining_s
+                    )
+                    window_remaining_s = deploy_left + request.sla.duration_s
+            self.calendar.commit(
+                request.request_id,
+                now,
+                now + max(window_remaining_s, 1e-9),
+                self.shrunk_demand(request, fraction),
+            )
+        booking = self.calendar.get(request.request_id)
+        self._journal(
+            "slice.installed",
+            request=request_to_dict(request),
+            slice_id=slice_id,
+            plmn=plmn_id,
+            fraction=fraction,
+            reservations={d: r.reservation_id for d, r in reservations.items()},
+            window=[booking.start, booking.end] if booking else None,
+        )
+        network_slice.transition(SliceState.DEPLOYING, now)
+        if active_remaining_s is not None:
+            network_slice.transition(SliceState.ACTIVE, now)
+            self._journal("slice.activated", slice_id=slice_id)
+            self.sim.schedule(
+                max(active_remaining_s, 0.0),
+                lambda: self._expire(slice_id),
+                name=f"expire-{slice_id}",
+            )
+        else:
+            self.sim.schedule(
+                max(
+                    deploy_remaining_s
+                    if deploy_remaining_s is not None
+                    else self.config.deploy_time_s,
+                    0.0,
+                ),
+                lambda: self._activate(slice_id),
+                name=f"activate-{slice_id}",
+            )
+        self.events.emit(
+            now,
+            "slice.adopted",
+            slice_id=slice_id,
+            tenant_id=request.tenant_id,
+            state=network_slice.state.value,
+        )
+        return network_slice
+
+    def restore_advance_booking(
+        self,
+        request: SliceRequest,
+        *,
+        start_in_s: float,
+        profile: Optional[TrafficProfile] = None,
+    ) -> None:
+        """Re-promise a journaled advance booking after a restart.
+
+        Unlike :meth:`submit_advance` this performs **no** feasibility
+        check — the promise was already made (and charged for) before
+        the crash; recovery must honour it, not re-litigate it.
+        """
+        profile = profile or self.default_profile(request)
+        start_time = self.sim.now + max(start_in_s, 0.0)
+        fraction = self.cold_start_fraction(request)
+        end_time = start_time + request.sla.duration_s + self.config.deploy_time_s
+        if self.config.respect_calendar and not self.calendar.has(request.request_id):
+            self.calendar.commit(
+                request.request_id, start_time, end_time,
+                self.shrunk_demand(request, fraction),
+            )
+        self._pending_advance[request.request_id] = start_time
+        self._advance_requests[request.request_id] = request
+        self._journal(
+            "booking.committed",
+            request=request_to_dict(request),
+            start_time=start_time,
+        )
+
+        def install() -> None:
+            self._advance_requests.pop(request.request_id, None)
+            if self._pending_advance.pop(request.request_id, None) is None:
+                return  # booking was cancelled before its start time
+            decision = self.install_admitted(request, profile)
+            if not decision.admitted and self.calendar.has(request.request_id):
+                self.calendar.release(request.request_id)
+
+        self.sim.schedule_at(start_time, install, name=f"advance-{request.request_id}")
 
     # ------------------------------------------------------------------
     # Request handling (dashboard "request a slice" button)
@@ -320,8 +641,15 @@ class Orchestrator:
             self.calendar.commit(request.request_id, start_time, end_time, shrunk)
 
         self._pending_advance[request.request_id] = start_time
+        self._advance_requests[request.request_id] = request
+        self._journal(
+            "booking.committed",
+            request=request_to_dict(request),
+            start_time=start_time,
+        )
 
         def install() -> None:
+            self._advance_requests.pop(request.request_id, None)
             if self._pending_advance.pop(request.request_id, None) is None:
                 return  # booking was cancelled before its start time
             decision = self.install_admitted(request, profile)
@@ -353,8 +681,10 @@ class Orchestrator:
         start_time = self._pending_advance.pop(request_id, None)
         if start_time is None:
             raise OrchestratorError(f"no pending advance booking {request_id}")
+        self._advance_requests.pop(request_id, None)
         if self.calendar.has(request_id):
             self.calendar.release(request_id)
+        self._journal("booking.cancelled", request_id=request_id)
         self.events.emit(
             self.sim.now,
             "booking.cancelled",
@@ -369,6 +699,12 @@ class Orchestrator:
         self._all_slices[network_slice.slice_id] = network_slice
         network_slice.transition(SliceState.REJECTED, self.sim.now)
         self.ledger.book_rejection(request, reason, self.sim.now)
+        self._journal(
+            "slice.rejected",
+            request_id=request.request_id,
+            slice_id=network_slice.slice_id,
+            reason=reason,
+        )
         self.events.emit(
             self.sim.now,
             "slice.rejected",
@@ -395,6 +731,12 @@ class Orchestrator:
             network_slice.plmn = None
         network_slice.transition(SliceState.REJECTED, self.sim.now)
         self.ledger.book_rejection(request, reason, self.sim.now)
+        self._journal(
+            "slice.rejected",
+            request_id=request.request_id,
+            slice_id=network_slice.slice_id,
+            reason=reason,
+        )
         self.events.emit(
             self.sim.now,
             "slice.rejected",
@@ -438,6 +780,18 @@ class Orchestrator:
                 self.sim.now + request.sla.duration_s + self.config.deploy_time_s,
                 self.shrunk_demand(request, fraction),
             )
+        # WAL: the install is durable from here — a crash after this
+        # record must re-adopt the slice, not forfeit it.
+        booking = self.calendar.get(request.request_id)
+        self._journal(
+            "slice.installed",
+            request=request_to_dict(request),
+            slice_id=network_slice.slice_id,
+            plmn=network_slice.plmn.plmn_id if network_slice.plmn else None,
+            fraction=fraction,
+            reservations={d: r.reservation_id for d, r in reservations.items()},
+            window=[booking.start, booking.end] if booking is not None else None,
+        )
         runtime = SliceRuntime(
             network_slice=network_slice,
             profile=profile,
@@ -483,6 +837,13 @@ class Orchestrator:
             network_slice.plmn = self.plmn_pool.allocate(network_slice.slice_id)
         except PlmnPoolExhausted as exc:
             return self._book_install_rejection(network_slice, str(exc))
+        self._journal(
+            "install.started",
+            request=request_to_dict(request),
+            slice_id=network_slice.slice_id,
+            plmn=network_slice.plmn.plmn_id,
+            fraction=fraction,
+        )
         try:
             reservations = self._install_via_drivers(network_slice, fraction)
         except TransactionError as exc:
@@ -500,6 +861,7 @@ class Orchestrator:
         concurrent :class:`~repro.drivers.planner.BatchInstallPlanner`
         instead of installing slice-by-slice.  ``on_decision`` (if any)
         fires with the final install outcome when the batch lands."""
+        self._journal("admission.enqueued", request=request_to_dict(request))
         self._admission_queue.append((request, profile, on_decision))
 
     @property
@@ -568,6 +930,13 @@ class Orchestrator:
             except TransactionError as exc:
                 results[index] = self._book_install_rejection(network_slice, str(exc))
                 continue
+            self._journal(
+                "install.started",
+                request=request_to_dict(request),
+                slice_id=network_slice.slice_id,
+                plmn=network_slice.plmn.plmn_id,
+                fraction=fraction,
+            )
             staged[index] = (network_slice, profile, fraction)
             jobs.append(
                 InstallJob(
@@ -597,6 +966,7 @@ class Orchestrator:
                 results[index] = self._book_install_rejection(
                     network_slice, str(outcome.error)
                 )
+        self._drain_planner_events()
         assert all(decision is not None for decision in results)
         return results  # type: ignore[return-value]
 
@@ -1014,6 +1384,7 @@ class Orchestrator:
         if network_slice.state is not SliceState.DEPLOYING:
             return
         network_slice.transition(SliceState.ACTIVE, self.sim.now)
+        self._journal("slice.activated", slice_id=slice_id)
         self.events.emit(
             self.sim.now,
             "slice.activated",
@@ -1116,6 +1487,7 @@ class Orchestrator:
             amount = network_slice.request.price
             self.ledger.book_refund(slice_id, amount)
         network_slice.transition(SliceState.CANCELLED, self.sim.now)
+        self._journal("slice.cancelled", slice_id=slice_id)
         self.events.emit(
             self.sim.now,
             "slice.cancelled",
@@ -1142,6 +1514,7 @@ class Orchestrator:
         if self.calendar.has(network_slice.request.request_id):
             self.calendar.release(network_slice.request.request_id)
         network_slice.transition(SliceState.EXPIRED, self.sim.now)
+        self._journal("slice.expired", slice_id=slice_id)
         self.events.emit(
             self.sim.now,
             "slice.expired",
@@ -1242,6 +1615,9 @@ class Orchestrator:
         self.metrics.record(
             self.sim.now, "slice.modified_mbps", new_throughput_mbps, label=slice_id
         )
+        self._journal(
+            "slice.modified", slice_id=slice_id, throughput_mbps=new_throughput_mbps
+        )
         return AdmissionDecision(
             request_id=slice_id,
             admitted=True,
@@ -1254,9 +1630,16 @@ class Orchestrator:
     def _monitoring_epoch(self) -> None:
         self._epoch_counter += 1
         now = self.sim.now
+        # Durable heartbeat: recovery rebases lifecycle clocks against
+        # the newest journaled time, so an idle control plane must
+        # still bound its crash-time estimate to one epoch.
+        self._journal("clock.tick", epoch=self._epoch_counter)
         # Fleet-scale installs: drain everything admitted since the last
         # epoch through the concurrent batch planner in one go.
         self._drain_admission_queue()
+        # Late stragglers compensated since the last epoch surface as
+        # events now, on this thread.
+        self._drain_planner_events()
         if self._stuck_releases:
             self._retry_stuck_releases()
         active = {
@@ -1309,6 +1692,10 @@ class Orchestrator:
         if self._epoch_counter % self.config.reconfig_every_epochs == 0:
             self.calendar.prune_before(now)
             self._reconfigure(active)
+        # Durable store hygiene: once enough churn accumulated past the
+        # latest snapshot, checkpoint + compact so recovery stays fast.
+        if self.store.should_checkpoint():
+            self.checkpoint()
 
     def _heal_paths(self, active: Dict[str, SliceRuntime]) -> None:
         """Attempt re-routing, via any repair-capable driver (transport
@@ -1420,6 +1807,9 @@ class Orchestrator:
                     new_fraction,
                 )
                 runtime.effective_fraction = new_fraction
+                self._journal(
+                    "slice.reconfigured", slice_id=slice_id, fraction=new_fraction
+                )
                 self.metrics.record(
                     self.sim.now, "slice.effective_fraction", new_fraction, label=slice_id
                 )
@@ -1508,6 +1898,7 @@ class Orchestrator:
                     "pending_installs": self.pending_installs,
                 },
             },
+            "durability": self.store.status(),
             "domains": {
                 "ran": ran_util,
                 "transport": {

@@ -105,6 +105,31 @@ class PlmnPool:
         self._allocated[slice_id] = plmn
         return plmn
 
+    def claim(self, slice_id: str, plmn_id: str) -> PLMN:
+        """Reserve a *specific* PLMN for ``slice_id`` (crash recovery:
+        the slice already broadcasts this identity on the surviving
+        eNBs, so the rebuilt pool must hand back the same one).
+
+        Raises:
+            SliceError: If the identity is unknown to the pool, or held
+                by a different slice.
+        """
+        held = self._allocated.get(slice_id)
+        if held is not None:
+            if held.plmn_id == plmn_id:
+                return held  # already claimed (idempotent re-adoption)
+            raise SliceError(
+                f"slice {slice_id} already holds PLMN {held.plmn_id}, not {plmn_id}"
+            )
+        holder = self.holder_of(plmn_id)
+        if holder is not None:
+            raise SliceError(f"PLMN {plmn_id} is held by slice {holder}")
+        for index, plmn in enumerate(self._free):
+            if plmn.plmn_id == plmn_id:
+                self._allocated[slice_id] = self._free.pop(index)
+                return self._allocated[slice_id]
+        raise SliceError(f"PLMN {plmn_id} is not managed by this pool")
+
     def release(self, slice_id: str) -> None:
         """Return the PLMN held by ``slice_id`` to the pool."""
         plmn = self._allocated.pop(slice_id, None)
@@ -153,6 +178,29 @@ class SLA:
 
 
 _request_counter = itertools.count(1)
+
+
+def ensure_request_counter_at_least(ordinal: int) -> None:
+    """Advance the auto-id counter past ``ordinal``.
+
+    Crash recovery calls this with the highest journaled request
+    ordinal: a fresh process restarts the counter at 1, and re-issuing
+    a recovered id to a brand-new request would collide two slices on
+    one ``slice_id``.
+    """
+    global _request_counter
+    current = next(_request_counter)
+    _request_counter = itertools.count(max(current, int(ordinal) + 1))
+
+
+def peek_request_counter() -> int:
+    """The next auto-assigned request ordinal, without consuming it —
+    checkpointed so a snapshot-only restore can still advance the
+    counter past every id ever issued."""
+    global _request_counter
+    current = next(_request_counter)
+    _request_counter = itertools.count(current)
+    return current
 
 
 @dataclass
@@ -363,5 +411,7 @@ __all__ = [
     "SliceError",
     "SliceRequest",
     "SliceState",
+    "ensure_request_counter_at_least",
+    "peek_request_counter",
     "slice_id_for",
 ]

@@ -242,6 +242,20 @@ class DomainDriver(abc.ABC):
         """
         return None
 
+    def list_reservations(self) -> List[Reservation]:
+        """Every live (PREPARED/COMMITTED) reservation the backend
+        currently holds — the *ground truth* crash recovery reconciles
+        the journal against (re-adopting COMMITTED reservations,
+        compensating orphans; see :class:`~repro.store.recovery.
+        RecoveryManager`).
+
+        Drivers built on :class:`BaseDriver` get this from the shared
+        bookkeeping; direct subclasses that keep no records return an
+        empty list, which recovery reads as "this domain can vouch for
+        nothing" (journaled slices then cannot be re-adopted whole).
+        """
+        return []
+
     def repair(self, slice_id: str) -> Reservation:
         """Re-establish a degraded slice (e.g. re-route its path).
 
@@ -408,6 +422,12 @@ class BaseDriver(DomainDriver):
         """All live reservations (point-in-time snapshot)."""
         with self._lock:
             return list(self._reservations.values())
+
+    def list_reservations(self) -> List[Reservation]:
+        """Recovery ground truth — the shared bookkeeping *is* the
+        backend's reservation table for every driver built on this
+        base class."""
+        return self.reservations()
 
     def prepare(self, spec: DomainSpec) -> Reservation:
         with self._backend_guard():

@@ -281,7 +281,7 @@ class _Op:
                 return
             self._timed_out = True
             future = self.future
-        self.run.planner._count_timeout()
+        self.run.planner._count_timeout(self)
         # A still-queued op (future is None) never launches; a pending
         # future (backend never started) cancels cleanly — no side
         # effects, token returns via the done callback.  A running one
@@ -490,8 +490,18 @@ class _JobRun:
         self, op: _Op, result: Any, exc: Optional[BaseException]
     ) -> None:
         if op.kind == "prepare":
+            if exc is None and isinstance(result, Reservation):
+                self.planner._record(
+                    "driver.prepared", op.domain,
+                    result.slice_id, result.reservation_id,
+                )
             self._prepare_done(op.domain, result, exc)
         elif op.kind == "commit":
+            if exc is None and op.reservation is not None:
+                self.planner._record(
+                    "driver.committed", op.domain,
+                    op.reservation.slice_id, op.reservation.reservation_id,
+                )
             self._commit_done(op.domain, exc)
         else:
             self._unwind_done(op, exc)
@@ -646,6 +656,15 @@ class _JobRun:
             return
 
     def _unwind_done(self, op: _Op, exc: Optional[BaseException]) -> None:
+        if exc is None and op.reservation is not None:
+            self.planner._record(
+                "driver.released"
+                if op.reservation.state is ReservationState.RELEASED
+                else "driver.rolled_back",
+                op.domain,
+                op.reservation.slice_id,
+                op.reservation.reservation_id,
+            )
         with self._lock:
             if exc is None:
                 # Same contract as InstallTransaction.unwind: the
@@ -690,6 +709,14 @@ class BatchInstallPlanner:
             drivers that do not declare their own
             ``DriverCapabilities.operation_timeout_s``.  ``None``: wait
             forever, like the blocking path.
+        on_record: Durability hook fired for every *landed* southbound
+            reservation transition — ``(record_type, domain, slice_id,
+            reservation_id)`` with record types ``driver.prepared`` /
+            ``driver.committed`` / ``driver.rolled_back`` /
+            ``driver.released`` / ``driver.compensated``.  Called from
+            completion threads, so the hook must be thread-safe (the
+            control-plane journal is); a raising hook is swallowed —
+            the install's fate never depends on the audit trail.
     """
 
     def __init__(
@@ -699,6 +726,7 @@ class BatchInstallPlanner:
         batch_size: int = 16,
         on_rollback: Optional[RollbackHook] = None,
         operation_timeout_s: Optional[float] = None,
+        on_record: Optional[Callable[[str, str, str, str], None]] = None,
     ) -> None:
         if max_workers < 1:
             raise DriverError("planner", f"max_workers must be >= 1, got {max_workers}")
@@ -709,6 +737,7 @@ class BatchInstallPlanner:
         self.batch_size = int(batch_size)
         self.on_rollback = on_rollback
         self.operation_timeout_s = operation_timeout_s
+        self.on_record = on_record
         #: Completed-batch counters (telemetry/debugging).
         self.batches_run = 0
         self.jobs_installed = 0
@@ -722,6 +751,11 @@ class BatchInstallPlanner:
         # timer/completion threads; the batch counters above only ever
         # change on the calling thread.
         self._counter_lock = threading.Lock()
+        # Northbound-worthy incidents (op timeouts, background
+        # compensations) buffered for the orchestrator to drain on
+        # *its* thread — completion threads must never touch the event
+        # feed directly.
+        self._pending_events: List[Tuple[str, Dict[str, Any]]] = []
 
     # ------------------------------------------------------------------
     # Planning
@@ -835,13 +869,50 @@ class BatchInstallPlanner:
         declared = driver.capabilities().operation_timeout_s
         return declared if declared is not None else self.operation_timeout_s
 
-    def _count_timeout(self) -> None:
+    def _count_timeout(self, op: "_Op") -> None:
         with self._counter_lock:
             self.ops_timed_out += 1
+        self._queue_event(
+            "driver.op_timeout",
+            domain=op.domain,
+            kind=op.kind,
+            slice_id=op.run.job.slice_id,
+            timeout_s=op.timeout_s,
+        )
 
-    def _count_compensation(self) -> None:
+    def _count_compensation(self, op: "_Op") -> None:
         with self._counter_lock:
             self.ops_compensated += 1
+        self._queue_event(
+            "driver.compensated",
+            domain=op.domain,
+            kind=op.kind,
+            slice_id=op.run.job.slice_id,
+        )
+
+    def _queue_event(self, event_type: str, **payload: Any) -> None:
+        """Buffer a northbound-worthy incident (thread-safe)."""
+        with self._counter_lock:
+            self._pending_events.append((event_type, payload))
+
+    def drain_events(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Hand buffered incidents to the caller (the orchestrator
+        emits them on the event feed from its own thread) and clear."""
+        with self._counter_lock:
+            drained, self._pending_events = self._pending_events, []
+        return drained
+
+    def _record(
+        self, record_type: str, domain: str, slice_id: str, reservation_id: str
+    ) -> None:
+        """Fire the durability hook; an audit failure never fails an
+        install (and a closed journal drops writes by design)."""
+        if self.on_record is None:
+            return
+        try:
+            self.on_record(record_type, domain, slice_id, reservation_id)
+        except Exception:  # pragma: no cover - audit is best-effort
+            pass
 
     def _compensate(self, op: _Op, future: Future) -> None:
         """A timed-out operation eventually finished: undo whatever it
@@ -856,15 +927,27 @@ class BatchInstallPlanner:
         try:
             if op.kind == "prepare":
                 if isinstance(result, Reservation):
-                    self._count_compensation()
+                    self._count_compensation(op)
                     op.driver.rollback(result)
+                    self._record(
+                        "driver.compensated", op.domain,
+                        result.slice_id, result.reservation_id,
+                    )
             elif op.reservation is not None:
                 if op.reservation.state is ReservationState.COMMITTED:
-                    self._count_compensation()
+                    self._count_compensation(op)
                     op.driver.release(op.reservation.slice_id)
+                    self._record(
+                        "driver.compensated", op.domain,
+                        op.reservation.slice_id, op.reservation.reservation_id,
+                    )
                 elif op.reservation.state is ReservationState.PREPARED:
-                    self._count_compensation()
+                    self._count_compensation(op)
                     op.driver.rollback(op.reservation)
+                    self._record(
+                        "driver.compensated", op.domain,
+                        op.reservation.slice_id, op.reservation.reservation_id,
+                    )
         except BaseException:  # pragma: no cover - best effort by design
             pass
 

@@ -1,0 +1,36 @@
+"""Durable control-plane store: event-sourced journal, snapshots, and
+crash-recovery reconciliation.
+
+The subsystem that lets an orchestrator restart without forfeiting its
+slices: every control-plane transition is journaled
+(:mod:`repro.store.journal`), periodically checkpointed
+(:mod:`repro.store.snapshot`), and folded back on restart
+(:mod:`repro.store.codec`), after which
+:class:`~repro.store.recovery.RecoveryManager` reconciles the rebuilt
+state against what the southbound drivers still physically hold.
+"""
+
+from repro.store.codec import ReplayState, request_from_dict, request_to_dict
+from repro.store.journal import Journal, JournalCorrupt, JournalError, JournalRecord
+from repro.store.recovery import RecoveryError, RecoveryManager, RecoveryReport
+from repro.store.snapshot import SnapshotError, SnapshotStore
+from repro.store.store import ControlPlaneStore, NullStore, StoreError, open_store
+
+__all__ = [
+    "ControlPlaneStore",
+    "Journal",
+    "JournalCorrupt",
+    "JournalError",
+    "JournalRecord",
+    "NullStore",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ReplayState",
+    "SnapshotError",
+    "SnapshotStore",
+    "StoreError",
+    "open_store",
+    "request_from_dict",
+    "request_to_dict",
+]

@@ -1,0 +1,309 @@
+"""Journal payload codec + the deterministic replay fold.
+
+Two halves:
+
+1. **Codec** — (de)serialization of the domain objects the journal
+   carries: :class:`~repro.core.slices.SliceRequest` round-trips
+   through plain dicts, and :func:`json_default` coerces the numpy
+   scalars that leak out of domain telemetry into JSON natives.
+
+2. **Replay fold** — :class:`ReplayState`, the pure in-memory image of
+   the durable control plane.  ``ReplayState.restore(snapshot, tail)``
+   folds a snapshot (if any) plus the journal tail into the state a
+   recovering orchestrator must rebuild; the fold is a deterministic
+   function of its inputs (the replay-determinism property test pins
+   this down by comparing :meth:`ReplayState.digest` across repeated
+   folds of the same journal).
+
+The fold is deliberately decoupled from the live orchestrator: it
+reasons only over record payloads, so it can run in benchmarks
+(``bench_d12_recovery``), in tests, and in the recovery path without a
+testbed.
+
+Record vocabulary (see ``docs/ARCHITECTURE.md`` for the full matrix):
+
+===================== ==========================================================
+``admission.enqueued`` request queued for the next batched install
+``install.started``    install staged southbound (PLMN held, specs planned)
+``slice.installed``    install committed end-to-end and acknowledged
+``slice.activated``    slice went ACTIVE (expiry clock started)
+``slice.expired``      lifetime ended, resources released
+``slice.cancelled``    torn down before/while active
+``slice.rejected``     admission or install failure booked
+``slice.modified``     tenant rescale (new SLA throughput)
+``slice.reconfigured`` overbooking loop resized the effective fraction
+``booking.committed``  advance reservation promised on the calendar
+``booking.cancelled``  advance reservation withdrawn
+``quota.set``          per-tenant quota changed
+``event.emitted``      northbound feed event (durable ``after_lsn`` cursor)
+``driver.*``           per-driver reservation audit (prepared/committed/
+                       rolled_back/released/compensated) — not folded
+``checkpoint.written`` snapshot landed (audit)
+``recovery.completed`` a restart reconciled (audit)
+===================== ==========================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, TYPE_CHECKING
+
+from repro.core.slices import SLA, ServiceType, SliceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.journal import JournalRecord
+
+
+def json_default(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays (and sets) into JSON-native values."""
+    import numpy as np
+
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+# ----------------------------------------------------------------------
+# Request codec
+# ----------------------------------------------------------------------
+def request_to_dict(request: SliceRequest) -> Dict[str, Any]:
+    """JSON-safe image of a slice request (full fidelity round-trip)."""
+    return {
+        "request_id": request.request_id,
+        "tenant_id": request.tenant_id,
+        "service_type": request.service_type.value,
+        "throughput_mbps": float(request.sla.throughput_mbps),
+        "max_latency_ms": float(request.sla.max_latency_ms),
+        "duration_s": float(request.sla.duration_s),
+        "availability": float(request.sla.availability),
+        "price": float(request.price),
+        "penalty_rate": float(request.penalty_rate),
+        "arrival_time": float(request.arrival_time),
+        "n_users": int(request.n_users),
+        "priority": int(request.priority),
+    }
+
+
+def request_from_dict(payload: Dict[str, Any]) -> SliceRequest:
+    """Rebuild the :class:`SliceRequest` a journal record captured."""
+    return SliceRequest(
+        tenant_id=payload["tenant_id"],
+        service_type=ServiceType(payload["service_type"]),
+        sla=SLA(
+            throughput_mbps=payload["throughput_mbps"],
+            max_latency_ms=payload["max_latency_ms"],
+            duration_s=payload["duration_s"],
+            availability=payload.get("availability", 0.95),
+        ),
+        price=payload["price"],
+        penalty_rate=payload["penalty_rate"],
+        arrival_time=payload.get("arrival_time", 0.0),
+        n_users=payload.get("n_users", 10),
+        priority=payload.get("priority", 0),
+        request_id=payload["request_id"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay fold
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayState:
+    """Pure image of the durable control plane.
+
+    Attributes:
+        time: Simulation instant of the newest folded record (the
+            "crash time" recovery rebases against).
+        live: slice_id → image of an acknowledged install.  Image keys:
+            ``request`` (request dict), ``plmn``, ``fraction``,
+            ``status`` (``"installed"`` | ``"active"``),
+            ``installed_at``, ``activated_at``, ``window``
+            (``[start, end]`` calendar interval or None) and
+            ``reservations`` (domain → reservation_id).
+        in_flight: slice_id → image of an install that *started*
+            (PLMN held, southbound work dispatched) but was never
+            acknowledged — the reconciliation matrix decides its fate
+            against driver ground truth.
+        queued: request_id → request dict of journaled-but-uninstalled
+            admissions (re-enqueued on recovery).
+        advance: request_id → ``{"request": ..., "start_time": ...}``
+            of pending advance bookings.
+        quotas: tenant_id → quota payload.
+        last_event_seq: Highest northbound event seq folded (feed
+            numbering resumes after it).
+        last_request_ordinal: Highest auto-assigned request ordinal
+            seen in *any* folded record — including slices that
+            terminated before the crash, whose images are gone from
+            ``live``.  Recovery advances the request-id counter past
+            it so a recovered id is never re-issued to a new request.
+        records_applied: Fold-size telemetry (excluded from the digest).
+    """
+
+    time: float = 0.0
+    live: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    in_flight: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    queued: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    advance: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    quotas: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    last_event_seq: int = 0
+    last_request_ordinal: int = 0
+    records_applied: int = 0
+
+    _ORDINAL = re.compile(r"-(\d+)$")
+
+    def _note_ordinal(self, identifier: Optional[str]) -> None:
+        if not identifier:
+            return
+        match = self._ORDINAL.search(str(identifier))
+        if match:
+            self.last_request_ordinal = max(
+                self.last_request_ordinal, int(match.group(1))
+            )
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Optional[Dict[str, Any]],
+        records: Iterable["JournalRecord"],
+    ) -> "ReplayState":
+        """Fold ``snapshot`` (may be None) plus the journal ``records``
+        into the recovered state image."""
+        state = cls.from_dict(snapshot) if snapshot else cls()
+        for record in records:
+            state.apply(record)
+        return state
+
+    def apply(self, record: "JournalRecord") -> None:
+        """Fold one journal record into the image (pure, deterministic)."""
+        kind, data = record.record_type, record.data
+        self.time = max(self.time, record.time)
+        self.records_applied += 1
+        # Every record naming a request or slice advances the ordinal
+        # high-water mark — terminated slices included, or a restart
+        # would re-issue their ids.
+        request = data.get("request")
+        if isinstance(request, dict):
+            self._note_ordinal(request.get("request_id"))
+        self._note_ordinal(data.get("request_id"))
+        self._note_ordinal(data.get("slice_id"))
+        if kind == "admission.enqueued":
+            request = data["request"]
+            self.queued[request["request_id"]] = request
+        elif kind == "install.started":
+            request = data["request"]
+            self.queued.pop(request["request_id"], None)
+            self.advance.pop(request["request_id"], None)
+            self.in_flight[data["slice_id"]] = {
+                "request": request,
+                "plmn": data.get("plmn"),
+                "fraction": data.get("fraction", 1.0),
+                "started_at": record.time,
+            }
+        elif kind == "slice.installed":
+            request = data["request"]
+            self.queued.pop(request["request_id"], None)
+            self.advance.pop(request["request_id"], None)
+            self.in_flight.pop(data["slice_id"], None)
+            self.live[data["slice_id"]] = {
+                "request": request,
+                "plmn": data.get("plmn"),
+                "fraction": data.get("fraction", 1.0),
+                "status": "installed",
+                "installed_at": record.time,
+                "activated_at": None,
+                "window": data.get("window"),
+                "reservations": dict(data.get("reservations") or {}),
+            }
+        elif kind == "slice.activated":
+            image = self.live.get(data["slice_id"])
+            if image is not None:
+                image["status"] = "active"
+                image["activated_at"] = record.time
+        elif kind in ("slice.expired", "slice.cancelled"):
+            self.live.pop(data["slice_id"], None)
+            self.in_flight.pop(data["slice_id"], None)
+        elif kind == "slice.rejected":
+            self.queued.pop(data.get("request_id"), None)
+            self.advance.pop(data.get("request_id"), None)
+            self.in_flight.pop(data.get("slice_id"), None)
+        elif kind == "slice.modified":
+            image = self.live.get(data["slice_id"])
+            if image is not None:
+                image["request"]["throughput_mbps"] = data["throughput_mbps"]
+        elif kind == "slice.reconfigured":
+            image = self.live.get(data["slice_id"])
+            if image is not None:
+                image["fraction"] = data["fraction"]
+        elif kind == "booking.committed":
+            request = data["request"]
+            self.advance[request["request_id"]] = {
+                "request": request,
+                "start_time": data["start_time"],
+            }
+        elif kind == "booking.cancelled":
+            self.advance.pop(data.get("request_id"), None)
+        elif kind == "quota.set":
+            self.quotas[data["tenant_id"]] = {
+                "max_active_slices": data.get("max_active_slices"),
+                "max_aggregate_mbps": data.get("max_aggregate_mbps"),
+            }
+        elif kind == "event.emitted":
+            event = data.get("event") or {}
+            self.last_event_seq = max(self.last_event_seq, int(event.get("seq", 0)))
+        # driver.*, checkpoint.written, recovery.completed: audit trail
+        # only — driver *ground truth* is reconciled live, not replayed.
+
+    # ------------------------------------------------------------------
+    # Snapshot round-trip + digest
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Snapshot-ready (and digest-canonical) form."""
+        return {
+            "time": self.time,
+            "live": self.live,
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "advance": self.advance,
+            "quotas": self.quotas,
+            "last_event_seq": self.last_event_seq,
+            "last_request_ordinal": self.last_request_ordinal,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReplayState":
+        return cls(
+            time=float(payload.get("time", 0.0)),
+            live={k: dict(v) for k, v in (payload.get("live") or {}).items()},
+            in_flight={k: dict(v) for k, v in (payload.get("in_flight") or {}).items()},
+            queued={k: dict(v) for k, v in (payload.get("queued") or {}).items()},
+            advance={k: dict(v) for k, v in (payload.get("advance") or {}).items()},
+            quotas={k: dict(v) for k, v in (payload.get("quotas") or {}).items()},
+            last_event_seq=int(payload.get("last_event_seq", 0)),
+            last_request_ordinal=int(payload.get("last_request_ordinal", 0)),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON image.  Two folds of the
+        same snapshot+journal must produce the same digest — the
+        replay-determinism invariant."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=json_default
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+__all__ = ["ReplayState", "json_default", "request_from_dict", "request_to_dict"]

@@ -1,0 +1,310 @@
+"""Append-only write-ahead journal (JSONL, fsync-batched, monotonic LSNs).
+
+The journal is the durability primitive of the control-plane store:
+every externally meaningful state transition of the orchestrator —
+admissions, slice lifecycle, calendar bookings, quota changes,
+per-driver reservation commits/rollbacks — is appended here *before*
+the transition is acknowledged northbound.  On restart,
+:class:`~repro.store.recovery.RecoveryManager` folds the journal (on
+top of the latest snapshot) back into control-plane state.
+
+Format: one JSON object per line::
+
+    {"lsn": 17, "t": 120.0, "type": "slice.installed", "data": {...}}
+
+Durability discipline:
+
+- every append is **flushed** to the OS immediately (a process crash
+  after :meth:`append` returns loses nothing), and
+- the file is **fsynced** every ``fsync_every`` records (bounding what
+  an OS/power failure can lose without paying an fsync per record —
+  the classic group-commit trade; ``fsync_every=1`` gives full
+  synchronous durability, ``0`` disables fsync entirely).
+
+LSNs (log sequence numbers) are monotonically increasing, never
+reused, and survive restarts: opening an existing journal resumes
+numbering after its last intact record.  They double as the durable
+consumer cursor of ``GET /v1/events?after_lsn=``.
+
+Crash tolerance on the *read* path: a torn final line (the process
+died mid-write) is ignored — it was never acknowledged, so dropping it
+is correct.  A corrupt record in the *middle* of the journal is real
+damage and raises :class:`JournalCorrupt`.
+
+A closed journal silently drops appends instead of raising: the chaos
+harness simulates a crash by closing the store while driver threads
+are still completing, exactly like a dead process whose writes never
+reach the disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+from repro.store.codec import json_default
+
+
+class JournalError(RuntimeError):
+    """Raised on journal misuse."""
+
+
+class JournalCorrupt(JournalError):
+    """A record *before* the tail failed to parse — real damage, not a
+    torn final write."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable state transition.
+
+    Attributes:
+        lsn: Monotonic log sequence number (the durable cursor).
+        time: Simulation time the transition happened.
+        record_type: Dotted record name, e.g. ``"slice.installed"``.
+        data: JSON-safe payload (see :mod:`repro.store.codec`).
+    """
+
+    lsn: int
+    time: float
+    record_type: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_line(self) -> str:
+        return json.dumps(
+            {"lsn": self.lsn, "t": self.time, "type": self.record_type, "data": self.data},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=json_default,
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "JournalRecord":
+        raw = json.loads(line)
+        return cls(
+            lsn=int(raw["lsn"]),
+            time=float(raw["t"]),
+            record_type=str(raw["type"]),
+            data=dict(raw.get("data") or {}),
+        )
+
+
+@dataclass
+class _ScanResult:
+    """Outcome of parsing a journal file tolerantly."""
+
+    records: List[JournalRecord]
+    #: Byte offset past the last intact, newline-terminated line — the
+    #: truncation point that repairs a torn tail.
+    clean_end: int = 0
+    #: The final line is an intact record but lacks its newline (the
+    #: process died between write and terminator); repair appends one.
+    tail_unterminated: bool = False
+
+
+def _scan(path: str, after_lsn: int = 0) -> _ScanResult:
+    """Parse every intact record with ``lsn > after_lsn``.
+
+    Tolerates a torn tail (partial/corrupt last line — it was never
+    acknowledged, so dropping it is correct); raises
+    :class:`JournalCorrupt` on damage anywhere else.
+    """
+    if not os.path.exists(path):
+        return _ScanResult(records=[])
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    result = _ScanResult(records=[])
+    lines = blob.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()  # file ends with a newline — no dangling fragment
+        ends_terminated = True
+    else:
+        ends_terminated = False
+    offset = 0
+    for index, raw in enumerate(lines):
+        is_last = index == len(lines) - 1
+        terminated = (not is_last) or ends_terminated
+        line_end = offset + len(raw) + (1 if terminated else 0)
+        stripped = raw.strip()
+        if not stripped:
+            if terminated:
+                result.clean_end = line_end
+            offset = line_end
+            continue
+        try:
+            record = JournalRecord.from_line(stripped.decode("utf-8"))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            if is_last and not terminated:
+                break  # torn tail — never acknowledged, drop it
+            # A newline-terminated line completed its write — the
+            # record was acknowledged, so damage here is real
+            # corruption, never a benign torn tail.
+            raise JournalCorrupt(
+                f"{path}: corrupt record at line {index + 1}: {exc}"
+            ) from exc
+        if record.lsn > after_lsn:
+            result.records.append(record)
+        if terminated:
+            result.clean_end = line_end
+        else:
+            result.tail_unterminated = True
+        offset = line_end
+    return result
+
+
+def _read_records(path: str, after_lsn: int = 0) -> List[JournalRecord]:
+    """Every intact record with ``lsn > after_lsn`` (tolerant read)."""
+    return _scan(path, after_lsn).records
+
+
+class Journal:
+    """Thread-safe append-only JSONL journal with monotonic LSNs."""
+
+    def __init__(self, path: str, fsync_every: int = 32) -> None:
+        if fsync_every < 0:
+            raise JournalError(f"fsync_every must be >= 0, got {fsync_every}")
+        self.path = str(path)
+        self.fsync_every = int(fsync_every)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._unsynced = 0
+        # Resume numbering after the last intact record, and *repair* a
+        # torn tail before appending anything: new records must never
+        # land behind half-written garbage (that would turn a benign
+        # torn tail into mid-journal corruption).
+        scan = _scan(self.path)
+        self._last_lsn = scan.records[-1].lsn if scan.records else 0
+        if os.path.exists(self.path):
+            size = os.path.getsize(self.path)
+            if scan.tail_unterminated:
+                with open(self.path, "ab") as handle:
+                    handle.write(b"\n")
+            elif size > scan.clean_end:
+                with open(self.path, "rb+") as handle:
+                    handle.truncate(scan.clean_end)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest appended record (0 when empty)."""
+        with self._lock:
+            return self._last_lsn
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def ensure_lsn_at_least(self, lsn: int) -> None:
+        """Never issue LSNs at or below ``lsn``.
+
+        The store calls this with the latest snapshot's LSN on open: a
+        crash in the tiny window after compaction emptied the journal
+        (before the audit marker landed) must not restart numbering at
+        1 — reused LSNs would freeze durable consumer cursors and make
+        the stale snapshot outrank every newer one.
+        """
+        with self._lock:
+            self._last_lsn = max(self._last_lsn, int(lsn))
+
+    def append(self, record_type: str, time: float = 0.0, **data: Any) -> int:
+        """Durably append one record; returns its LSN.
+
+        A closed journal drops the record and returns 0 — the "process
+        is dead, the write never landed" semantics the crash-recovery
+        tests rely on.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            lsn = self._last_lsn + 1
+            record = JournalRecord(lsn=lsn, time=float(time), record_type=record_type, data=data)
+            self._handle.write(record.to_line() + "\n")
+            self._handle.flush()
+            self._unsynced += 1
+            if self.fsync_every and self._unsynced >= self.fsync_every:
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
+            self._last_lsn = lsn
+            return lsn
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def close(self) -> None:
+        """Stop accepting appends (idempotent); pending bytes are synced."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def records(self, after_lsn: int = 0) -> List[JournalRecord]:
+        """Every intact record with ``lsn > after_lsn``, oldest first."""
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+        return _read_records(self.path, after_lsn)
+
+    def __iter__(self) -> Iterator[JournalRecord]:
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, upto_lsn: int) -> int:
+        """Drop records with ``lsn <= upto_lsn`` (they are covered by a
+        snapshot).  Atomic: the survivors are rewritten to a temp file
+        which is renamed over the journal, so a crash mid-compaction
+        leaves either the old or the new journal, never a mix.
+
+        Returns the number of records dropped.
+        """
+        with self._lock:
+            if self._closed:
+                raise JournalError("journal is closed")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            keep = _read_records(self.path)
+            survivors = [r for r in keep if r.lsn > upto_lsn]
+            tmp_path = self.path + ".compact"
+            with open(tmp_path, "w", encoding="utf-8") as tmp:
+                for record in survivors:
+                    tmp.write(record.to_line() + "\n")
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            self._handle.close()
+            os.replace(tmp_path, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self._unsynced = 0
+            return len(keep) - len(survivors)
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal file."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+
+__all__ = ["Journal", "JournalCorrupt", "JournalError", "JournalRecord", "_read_records"]

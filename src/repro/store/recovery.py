@@ -1,0 +1,375 @@
+"""Crash-recovery: rebuild control-plane state and reconcile southbound.
+
+:class:`RecoveryManager.restore` is the restart path of an
+orchestrator whose process died: fold the durable store (snapshot +
+journal tail) back into an in-memory image, rebuild the
+orchestrator/calendar/quota state from it, and — crucially —
+**reconcile against the southbound**, because the domain controllers
+(real hardware, or the long-lived simulator controllers in tests) kept
+running while the control plane was down.
+
+Reconciliation matrix (per slice × driver ground truth, where "ground
+truth" is :meth:`~repro.drivers.base.DomainDriver.list_reservations`):
+
+====================  =========================  ===========================
+journal says          drivers say                recovery does
+====================  =========================  ===========================
+installed (acked)     COMMITTED in every domain  re-adopt: rebuild runtime,
+                                                 calendar window, PLMN,
+                                                 expiry/activation timers
+installed (acked)     missing/partial            slice is *lost*: compensate
+                                                 the partial residue, report
+install started,      COMMITTED in every domain  re-adopt (the southbound
+never acked                                      finished what the dead
+                                                 process started)
+install started,      partial (PREPARED holds,   compensate the residue via
+never acked           some domains missing)      the async unwind, then
+                                                 re-enqueue the admission
+enqueued, no install  —                          re-enqueue into the
+                                                 admission queue
+(nothing)             any reservation            orphan: rollback PREPARED,
+                                                 release COMMITTED
+====================  =========================  ===========================
+
+Pending advance bookings are re-promised on the calendar with their
+windows rebased to the new clock (a booking whose start time passed
+while the orchestrator was down is promoted straight into the
+admission queue).  Recovery ends with a fresh checkpoint, so the
+journal restarts compact and time-coherent on the new clock.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import Future, wait as _wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.slices import ensure_request_counter_at_least
+from repro.drivers.base import DriverError, Reservation, ReservationState
+from repro.store.codec import ReplayState, request_from_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.service import SliceService
+    from repro.core.orchestrator import Orchestrator
+
+
+class RecoveryError(RuntimeError):
+    """Raised when recovery cannot proceed (e.g. durability disabled)."""
+
+
+@dataclass
+class RecoveryReport:
+    """What a restart rebuilt, reconciled and compensated."""
+
+    snapshot_lsn: int = 0
+    replayed_records: int = 0
+    slices_adopted: int = 0
+    slices_lost: int = 0
+    admissions_requeued: int = 0
+    bookings_restored: int = 0
+    bookings_promoted: int = 0
+    orphans_compensated: int = 0
+    compensation_failures: int = 0
+    quotas_restored: int = 0
+    duration_s: float = 0.0
+    lost_slice_ids: List[str] = field(default_factory=list)
+    state_digest: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "snapshot_lsn": self.snapshot_lsn,
+            "replayed_records": self.replayed_records,
+            "slices_adopted": self.slices_adopted,
+            "slices_lost": self.slices_lost,
+            "admissions_requeued": self.admissions_requeued,
+            "bookings_restored": self.bookings_restored,
+            "bookings_promoted": self.bookings_promoted,
+            "orphans_compensated": self.orphans_compensated,
+            "compensation_failures": self.compensation_failures,
+            "quotas_restored": self.quotas_restored,
+            "duration_s": self.duration_s,
+            "lost_slice_ids": list(self.lost_slice_ids),
+            "state_digest": self.state_digest,
+        }
+
+
+class RecoveryManager:
+    """Rebuilds a freshly constructed orchestrator from its durable
+    store and reconciles it against the (surviving) southbound.
+
+    Args:
+        orchestrator: A *new, empty* orchestrator wired to the
+            surviving driver registry and to the reopened store.
+        service: Optional service facade; when given, journaled tenant
+            quotas are re-applied to it.
+        compensation_timeout_s: Wall-clock budget for the async orphan
+            unwind (a hung backend must not wedge the restart).
+    """
+
+    def __init__(
+        self,
+        orchestrator: "Orchestrator",
+        service: Optional["SliceService"] = None,
+        compensation_timeout_s: float = 10.0,
+    ) -> None:
+        if not orchestrator.store.enabled:
+            raise RecoveryError("orchestrator has no durable store to recover from")
+        self.orchestrator = orchestrator
+        self.service = service
+        self.compensation_timeout_s = float(compensation_timeout_s)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def restore(self) -> RecoveryReport:
+        """Fold the store, rebuild state, reconcile the southbound.
+
+        Returns the :class:`RecoveryReport`; also journals a
+        ``recovery.completed`` record and finishes with a fresh
+        checkpoint so the journal restarts on the new clock.
+        """
+        started = _time.monotonic()
+        orch = self.orchestrator
+        report = RecoveryReport()
+        snapshot, tail = orch.store.load()
+        state = ReplayState.restore(snapshot, tail)
+        report.snapshot_lsn = orch.store.snapshot_lsn
+        report.replayed_records = state.records_applied
+        report.state_digest = state.digest()
+        crash_time = state.time
+        # Fresh processes restart the global request counter; recovered
+        # ids must never be re-issued to new requests.  The fold's
+        # high-water mark covers *every* journaled id — including
+        # slices that terminated before the crash, whose images are
+        # gone from the live/queued sets.
+        if state.last_request_ordinal:
+            ensure_request_counter_at_least(state.last_request_ordinal)
+        # Resume feed numbering BEFORE anything below emits: adoption
+        # events must not reuse pre-crash sequence numbers (consumer
+        # cursors rely on seqs rising monotonically across restarts).
+        orch.events.resume_from(state.last_event_seq)
+
+        truth = self._southbound_truth()
+        adopted_ids = self._reconcile_slices(state, truth, crash_time, report)
+        self._compensate_orphans(truth, adopted_ids, report)
+        self._restore_bookings(state, crash_time, report)
+        self._requeue_admissions(state, report)
+        self._restore_quotas(state, report)
+
+        # A fresh checkpoint makes the journal compact and time-coherent
+        # on the new clock (pre-crash records carry the old one); it is
+        # also the durable-cursor replay floor, so the completion event
+        # is journaled *after* it — the one record a consumer resuming
+        # across the restart must be able to see.
+        orch.checkpoint()
+        report.duration_s = _time.monotonic() - started
+        orch.events.emit(
+            orch.sim.now, "recovery.completed", **{
+                "adopted": report.slices_adopted,
+                "lost": report.slices_lost,
+                "requeued": report.admissions_requeued,
+                "compensated": report.orphans_compensated,
+            }
+        )
+        orch.store.append(
+            "recovery.completed", time=orch.sim.now, report=report.to_dict()
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Southbound ground truth
+    # ------------------------------------------------------------------
+    def _southbound_truth(self) -> Dict[str, Dict[str, Reservation]]:
+        """domain → slice_id → live reservation, straight from drivers."""
+        truth: Dict[str, Dict[str, Reservation]] = {}
+        for driver in self.orchestrator.registry.drivers():
+            truth[driver.domain] = {
+                r.slice_id: r for r in driver.list_reservations()
+            }
+        return truth
+
+    def _fully_committed(
+        self, slice_id: str, truth: Dict[str, Dict[str, Reservation]]
+    ) -> Optional[Dict[str, Reservation]]:
+        """The slice's reservation per domain iff *every* registered
+        domain reports it COMMITTED (None otherwise)."""
+        reservations: Dict[str, Reservation] = {}
+        for domain, held in truth.items():
+            reservation = held.get(slice_id)
+            if reservation is None or reservation.state is not ReservationState.COMMITTED:
+                return None
+            reservations[domain] = reservation
+        return reservations if reservations else None
+
+    # ------------------------------------------------------------------
+    # Slice reconciliation
+    # ------------------------------------------------------------------
+    def _reconcile_slices(
+        self,
+        state: ReplayState,
+        truth: Dict[str, Dict[str, Reservation]],
+        crash_time: float,
+        report: RecoveryReport,
+    ) -> set:
+        orch = self.orchestrator
+        deploy_time = orch.config.deploy_time_s
+        adopted_ids: set = set()
+        # Acknowledged installs first (their calendar promises outrank
+        # everything), then never-acked in-flight installs.
+        for slice_id, image in list(state.live.items()) + list(state.in_flight.items()):
+            acked = slice_id in state.live
+            reservations = self._fully_committed(slice_id, truth)
+            request = request_from_dict(image["request"])
+            if reservations is not None:
+                duration = request.sla.duration_s
+                if image.get("status") == "active":
+                    remaining = max(
+                        0.0, image["activated_at"] + duration - crash_time
+                    )
+                    active_remaining_s: Optional[float] = remaining
+                    deploy_remaining_s = None
+                else:
+                    installed_at = image.get("installed_at", image.get("started_at", crash_time))
+                    active_remaining_s = None
+                    deploy_remaining_s = max(
+                        0.0, installed_at + deploy_time - crash_time
+                    )
+                window = image.get("window")
+                window_remaining_s = (
+                    max(0.0, window[1] - crash_time) if window else None
+                )
+                orch.adopt_recovered_slice(
+                    request,
+                    plmn_id=image.get("plmn"),
+                    fraction=image.get("fraction", 1.0),
+                    reservations=reservations,
+                    active_remaining_s=active_remaining_s,
+                    deploy_remaining_s=deploy_remaining_s,
+                    window_remaining_s=window_remaining_s,
+                )
+                adopted_ids.add(slice_id)
+                report.slices_adopted += 1
+            elif acked:
+                # Journal promised this slice; the southbound lost it.
+                report.slices_lost += 1
+                report.lost_slice_ids.append(slice_id)
+            else:
+                # Never acknowledged: the admission survives, the
+                # half-done install does not.
+                orch.enqueue_admitted(request, orch.default_profile(request))
+                report.admissions_requeued += 1
+        return adopted_ids
+
+    # ------------------------------------------------------------------
+    # Orphan compensation (async unwind)
+    # ------------------------------------------------------------------
+    def _compensate_orphans(
+        self,
+        truth: Dict[str, Dict[str, Reservation]],
+        adopted_ids: set,
+        report: RecoveryReport,
+    ) -> None:
+        """Every reservation not adopted is residue of a dead install
+        (or of a slice the journal already closed out): roll back the
+        PREPARED ones, release the COMMITTED ones — through the
+        drivers' async surface so one hung backend cannot wedge the
+        restart past the compensation budget."""
+        orch = self.orchestrator
+        futures: List[Future] = []
+        for domain, held in truth.items():
+            try:
+                driver = orch.registry.get(domain)
+            except DriverError:  # pragma: no cover - unregistered mid-restore
+                continue
+            for slice_id, reservation in held.items():
+                if slice_id in adopted_ids:
+                    continue
+                try:
+                    if reservation.state is ReservationState.PREPARED:
+                        future = driver.rollback_async(reservation)
+                    elif reservation.state is ReservationState.COMMITTED:
+                        future = driver.release_async(slice_id)
+                    else:
+                        continue
+                except Exception:
+                    report.compensation_failures += 1
+                    continue
+
+                def audit(
+                    done: Future,
+                    domain: str = domain,
+                    slice_id: str = slice_id,
+                    reservation_id: str = reservation.reservation_id,
+                ) -> None:
+                    # Journal only what actually happened: a failed or
+                    # cancelled unwind must not leave a durable record
+                    # claiming the reservation was compensated.
+                    landed = (
+                        not done.cancelled() and done.exception() is None
+                    )
+                    orch.store.append(
+                        "driver.compensated"
+                        if landed
+                        else "driver.compensation_failed",
+                        time=orch.sim.now,
+                        domain=domain,
+                        slice_id=slice_id,
+                        reservation_id=reservation_id,
+                        reason="recovery orphan",
+                    )
+
+                future.add_done_callback(audit)
+                futures.append(future)
+        if not futures:
+            return
+        done, not_done = _wait(futures, timeout=self.compensation_timeout_s)
+        for future in done:
+            if future.exception() is not None:
+                report.compensation_failures += 1
+            else:
+                report.orphans_compensated += 1
+        report.compensation_failures += len(not_done)
+
+    # ------------------------------------------------------------------
+    # Calendar + queue + quotas
+    # ------------------------------------------------------------------
+    def _restore_bookings(
+        self, state: ReplayState, crash_time: float, report: RecoveryReport
+    ) -> None:
+        orch = self.orchestrator
+        for request_id, entry in state.advance.items():
+            request = request_from_dict(entry["request"])
+            start_in_s = entry["start_time"] - crash_time
+            if start_in_s <= 0:
+                # The promised start passed while we were down; install
+                # as soon as the control plane breathes again.
+                orch.enqueue_admitted(request, orch.default_profile(request))
+                report.bookings_promoted += 1
+            else:
+                orch.restore_advance_booking(request, start_in_s=start_in_s)
+                report.bookings_restored += 1
+
+    def _requeue_admissions(self, state: ReplayState, report: RecoveryReport) -> None:
+        orch = self.orchestrator
+        for request_id, payload in state.queued.items():
+            request = request_from_dict(payload)
+            orch.enqueue_admitted(request, orch.default_profile(request))
+            report.admissions_requeued += 1
+
+    def _restore_quotas(self, state: ReplayState, report: RecoveryReport) -> None:
+        if not state.quotas:
+            return
+        # Always park the recovered quotas on the orchestrator: its
+        # checkpoint section carries them, so a service-less restore
+        # followed by the final checkpoint cannot compact them away;
+        # a SliceService constructed later seeds itself from here.
+        self.orchestrator.recovered_quotas.update(
+            {tenant: dict(payload) for tenant, payload in state.quotas.items()}
+        )
+        report.quotas_restored = len(state.quotas)
+        if self.service is not None:
+            self.service.apply_recovered_quotas(state.quotas)
+
+
+__all__ = ["RecoveryError", "RecoveryManager", "RecoveryReport"]

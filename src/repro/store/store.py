@@ -1,0 +1,257 @@
+"""Durable control-plane store: journal + snapshots behind one facade.
+
+:class:`ControlPlaneStore` is what the orchestrator (and the service
+layer) actually talks to: ``append`` journals a state transition,
+``checkpoint`` writes a full-state snapshot and compacts the journal,
+``load`` hands recovery the newest snapshot plus the journal tail past
+it.  :class:`NullStore` is the disabled twin — same surface, no I/O —
+so every call site stays unconditional and an orchestrator without a
+``durability_dir`` behaves exactly as before this subsystem existed.
+
+The store is thread-safe where it must be: ``append`` is called from
+planner completion threads (per-driver reservation records) as well as
+the orchestrator loop, and delegates to the journal's internal lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.store.codec import ReplayState
+from repro.store.journal import Journal, JournalRecord
+from repro.store.snapshot import SnapshotStore
+
+
+class StoreError(RuntimeError):
+    """Raised on store misuse (e.g. checkpointing a disabled store)."""
+
+
+class NullStore:
+    """The no-op store wired when durability is disabled.
+
+    Every write is dropped, every read is empty; ``enabled`` is the
+    single flag call sites may branch on (the admin API does, to 409 a
+    checkpoint request against a memory-only control plane).
+    """
+
+    enabled = False
+    directory: Optional[str] = None
+
+    @property
+    def last_lsn(self) -> int:
+        return 0
+
+    @property
+    def snapshot_lsn(self) -> int:
+        return 0
+
+    def append(self, record_type: str, time: float = 0.0, **data: Any) -> int:
+        return 0
+
+    def records(self, after_lsn: int = 0) -> List[JournalRecord]:
+        return []
+
+    def should_checkpoint(self) -> bool:
+        return False
+
+    def checkpoint(self, state: Dict[str, Any]) -> int:
+        raise StoreError("durability is disabled (no durability_dir configured)")
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], List[JournalRecord]]:
+        return None, []
+
+    def events_after(
+        self, after_lsn: int = 0, limit: Optional[int] = None
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        return []
+
+    def status(self) -> Dict[str, Any]:
+        return {"enabled": False}
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ControlPlaneStore:
+    """Event-sourced durability for the slice control plane.
+
+    Args:
+        directory: Store root (created if missing); holds
+            ``journal.jsonl`` and ``snapshot-<lsn>.json`` files.
+        fsync_every: Journal group-commit size (see
+            :class:`~repro.store.journal.Journal`).
+        checkpoint_every: Auto-checkpoint threshold — once this many
+            records accumulate past the latest snapshot the
+            orchestrator's monitoring loop writes a new one.  ``0``
+            disables auto-checkpointing (manual ``POST
+            /v1/admin/checkpoint`` still works).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: str,
+        fsync_every: int = 32,
+        checkpoint_every: int = 512,
+    ) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.checkpoint_every = int(checkpoint_every)
+        self.journal = Journal(
+            os.path.join(self.directory, "journal.jsonl"), fsync_every=fsync_every
+        )
+        self.snapshots = SnapshotStore(self.directory)
+        loaded = self.snapshots.load_latest()
+        self._snapshot_lsn = loaded[1] if loaded else 0
+        # The snapshot LSN is durable state too: if a crash landed in
+        # the window where compaction left the journal empty, the
+        # journal alone would restart numbering at 1 — below the
+        # snapshot — reusing LSNs consumers already hold.
+        self.journal.ensure_lsn_at_least(self._snapshot_lsn)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Journal passthrough
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """Durable position: LSN of the newest journaled record."""
+        return self.journal.last_lsn
+
+    @property
+    def snapshot_lsn(self) -> int:
+        """LSN the newest snapshot covers (0 = no snapshot)."""
+        return self._snapshot_lsn
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        """How much churn a recovery would have to replay right now."""
+        return max(0, self.journal.last_lsn - self._snapshot_lsn)
+
+    def append(self, record_type: str, time: float = 0.0, **data: Any) -> int:
+        """Journal one state transition; returns its LSN (0 if the
+        store was closed — the crash semantics)."""
+        return self.journal.append(record_type, time=time, **data)
+
+    def records(self, after_lsn: int = 0) -> List[JournalRecord]:
+        """Journal records past ``after_lsn`` (post-compaction view)."""
+        return self.journal.records(after_lsn)
+
+    def sync(self) -> None:
+        """Force-fsync the journal."""
+        self.journal.sync()
+
+    def close(self) -> None:
+        """Simulated crash / clean shutdown: further appends are dropped."""
+        self.journal.close()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def should_checkpoint(self) -> bool:
+        """Whether enough churn accumulated for an auto-checkpoint."""
+        return (
+            self.checkpoint_every > 0
+            and self.records_since_checkpoint >= self.checkpoint_every
+        )
+
+    def checkpoint(self, state: Dict[str, Any]) -> int:
+        """Write a full-state snapshot at the current journal position
+        and compact the journal up to it.  Returns the snapshot LSN."""
+        with self._lock:
+            self.journal.sync()
+            lsn = self.journal.last_lsn
+            self.snapshots.write(state, lsn)
+            self.journal.compact(lsn)
+            self._snapshot_lsn = lsn
+        # Audit record (lands *after* the snapshot, so replay past the
+        # snapshot sees it and ignores it).
+        self.append("checkpoint.written", time=float(state.get("time", 0.0)), lsn=lsn)
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Recovery read path
+    # ------------------------------------------------------------------
+    def load(self) -> Tuple[Optional[Dict[str, Any]], List[JournalRecord]]:
+        """The newest snapshot (or None) + the journal tail past it."""
+        loaded = self.snapshots.load_latest()
+        if loaded is None:
+            return None, self.journal.records()
+        state, lsn = loaded
+        return state, self.journal.records(after_lsn=lsn)
+
+    def replay(self) -> ReplayState:
+        """Fold snapshot + journal tail into the recovered state image."""
+        snapshot, tail = self.load()
+        return ReplayState.restore(snapshot, tail)
+
+    # ------------------------------------------------------------------
+    # Durable event cursor (GET /v1/events?after_lsn=)
+    # ------------------------------------------------------------------
+    def events_after(
+        self, after_lsn: int = 0, limit: Optional[int] = None
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Northbound events journaled past ``after_lsn``, as
+        ``(lsn, event_dict)`` pairs, oldest first.
+
+        Replay reaches back to the latest checkpoint (compaction drops
+        older records); ``snapshot_lsn`` is the replay floor a consumer
+        can detect a gap against.
+
+        Cost: a cursor at (or past) the journal head returns without
+        touching the disk — the steady state of a polling consumer;
+        a cursor behind the head re-reads the post-compaction journal,
+        so the scan is bounded by churn-since-checkpoint under the
+        default auto-checkpoint policy.
+        """
+        if after_lsn >= self.journal.last_lsn:
+            return []
+        out: List[Tuple[int, Dict[str, Any]]] = []
+        for record in self.journal.records(after_lsn):
+            if record.record_type != "event.emitted":
+                continue
+            event = record.data.get("event")
+            if not isinstance(event, dict):
+                continue
+            out.append((record.lsn, event))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Observability (GET /v1/admin/state)
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        return {
+            "enabled": True,
+            "directory": self.directory,
+            "last_lsn": self.journal.last_lsn,
+            "snapshot_lsn": self._snapshot_lsn,
+            "records_since_checkpoint": self.records_since_checkpoint,
+            "checkpoint_every": self.checkpoint_every,
+            "journal_bytes": self.journal.size_bytes(),
+            "closed": self.journal.closed,
+        }
+
+
+def open_store(
+    directory: Optional[str],
+    fsync_every: int = 32,
+    checkpoint_every: int = 512,
+) -> "ControlPlaneStore | NullStore":
+    """The store for ``directory`` — or the :class:`NullStore` when
+    durability is not configured."""
+    if not directory:
+        return NullStore()
+    return ControlPlaneStore(
+        directory, fsync_every=fsync_every, checkpoint_every=checkpoint_every
+    )
+
+
+__all__ = ["ControlPlaneStore", "NullStore", "StoreError", "open_store"]

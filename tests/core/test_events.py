@@ -81,3 +81,60 @@ class TestOrchestratorEmission:
         assert "slice.admitted" in types
         assert "slice.activated" in types
         assert "slice.expired" in types
+
+
+class TestEventLogSinkAndResume:
+    def test_sink_sees_every_emitted_event(self):
+        log = EventLog()
+        seen = []
+        log.sink = seen.append
+        event = log.emit(1.0, "slice.admitted", slice_id="s1")
+        assert seen == [event]
+
+    def test_resume_from_never_reuses_seqs(self):
+        log = EventLog()
+        log.emit(0.0, "tick")
+        log.resume_from(41)
+        assert log.emit(1.0, "tick").seq == 42
+        # Resuming backwards is a no-op: numbering stays monotonic.
+        log.resume_from(5)
+        assert log.emit(2.0, "tick").seq == 43
+
+
+class TestPlannerIncidentEvents:
+    def test_op_timeout_surfaces_on_the_feed_with_tenant(self, testbed):
+        """Satellite of the durability PR: planner op timeouts and
+        compensations are *events*, not just counters — attributed to
+        the slice's tenant on the northbound feed."""
+        from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+        from repro.core.slices import PlmnPool
+        from repro.drivers.mock import MockDriver
+        from repro.sim.engine import Simulator
+        from repro.traffic.patterns import ConstantProfile
+        from tests.conftest import make_request
+
+        chaos = MockDriver("chaos", capacity_mbps=10_000.0, max_concurrent_installs=8)
+        testbed.registry.register(chaos)
+        orchestrator = Orchestrator(
+            sim=Simulator(),
+            allocator=testbed.allocator,
+            plmn_pool=PlmnPool(size=12),
+            config=OrchestratorConfig(install_timeout_s=0.15),
+            registry=testbed.registry,
+        )
+        chaos.stall()  # the next chaos-domain operation hangs
+        request = make_request(throughput_mbps=5.0, tenant="tenant-x")
+        try:
+            (decision,) = orchestrator.install_admitted_batch(
+                [(request, ConstantProfile(5.0))]
+            )
+            assert not decision.admitted
+            timeouts = [
+                e for e in orchestrator.events.since(0)
+                if e.event_type == "driver.op_timeout"
+            ]
+            assert timeouts, "driver.op_timeout expected on the feed"
+            assert timeouts[0].tenant_id == "tenant-x"
+            assert timeouts[0].data["domain"] == "chaos"
+        finally:
+            chaos.release_stall()

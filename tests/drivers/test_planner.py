@@ -534,3 +534,81 @@ class TestStallIsolation:
         assert driver.prepares == 0
         assert driver.reservations() == []
         assert planner.ops_compensated == 0
+
+
+class TestDurabilityHooks:
+    """The planner's durability surface: per-reservation audit records
+    (``on_record``) and the buffered northbound incidents
+    (``drain_events``) the orchestrator surfaces on its event feed."""
+
+    def test_on_record_sees_prepare_and_commit_of_every_domain(self):
+        registry = make_registry()
+        records: List[tuple] = []
+        lock = threading.Lock()
+
+        def recorder(kind, domain, slice_id, reservation_id):
+            with lock:
+                records.append((kind, domain, slice_id))
+
+        planner = BatchInstallPlanner(registry, on_record=recorder)
+        outcomes = planner.install([job_for("s1"), job_for("s2")])
+        assert all(o.ok for o in outcomes)
+        for slice_id in ("s1", "s2"):
+            for domain in DOMAINS:
+                assert ("driver.prepared", domain, slice_id) in records
+                assert ("driver.committed", domain, slice_id) in records
+
+    def test_on_record_sees_the_unwind(self):
+        registry = make_registry()
+        registry.get("gamma").fail_next_prepare = 1
+        records: List[tuple] = []
+        lock = threading.Lock()
+        planner = BatchInstallPlanner(
+            registry,
+            on_record=lambda kind, domain, sid, rid: (
+                lock.acquire(), records.append((kind, domain, sid)), lock.release()
+            ),
+        )
+        (outcome,) = planner.install([job_for("s-fail")])
+        assert not outcome.ok
+        unwound = [(k, d) for k, d, sid in records if k == "driver.rolled_back"]
+        assert set(unwound) == {
+            ("driver.rolled_back", "alpha"),
+            ("driver.rolled_back", "beta"),
+        }
+
+    def test_raising_recorder_never_fails_the_install(self):
+        registry = make_registry()
+
+        def broken(*args):
+            raise RuntimeError("journal on fire")
+
+        planner = BatchInstallPlanner(registry, on_record=broken)
+        (outcome,) = planner.install([job_for("s-audit")])
+        assert outcome.ok
+
+    def test_timeout_and_compensation_buffered_as_events(self):
+        registry = make_registry(max_concurrent_installs=8)
+        stalled = registry.get("beta")
+        stalled.stall()
+        planner = BatchInstallPlanner(registry, operation_timeout_s=0.15)
+        (outcome,) = planner.install([job_for("s-hang")])
+        assert not outcome.ok
+        drained = planner.drain_events()
+        kinds = [k for k, _ in drained]
+        assert "driver.op_timeout" in kinds
+        payload = dict(drained)[("driver.op_timeout")]
+        assert payload["domain"] == "beta"
+        assert payload["slice_id"] == "s-hang"
+        # The straggler completes and is compensated in the background.
+        stalled.release_stall()
+        deadline = time.time() + 5.0
+        while time.time() < deadline and planner.ops_compensated == 0:
+            time.sleep(0.01)
+        assert planner.ops_compensated == 1
+        late = planner.drain_events()
+        assert ("driver.compensated", {
+            "domain": "beta", "kind": "prepare", "slice_id": "s-hang",
+        }) in late
+        # Draining clears the buffer.
+        assert planner.drain_events() == []

@@ -1,0 +1,67 @@
+"""Shared fixtures for the durable-store suite: a testbed whose
+southbound survives "crashes" (the controllers and drivers are
+long-lived objects, like real hardware) while the orchestrator — the
+control plane — is rebuilt from the store."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.core.slices import PlmnPool
+from repro.drivers.mock import MockDriver
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.store import ControlPlaneStore
+
+
+@pytest.fixture
+def durable_testbed() -> Testbed:
+    """A testbed scaled for concurrent 16+-slice batches, with an extra
+    pure-mock ``firewall`` domain for chaos injection and exact
+    held-capacity accounting."""
+    testbed = build_testbed(
+        TestbedConfig(n_enbs=4, max_plmns_per_enb=12, plmn_pool_size=40)
+    )
+    testbed.registry.register(
+        MockDriver("firewall", capacity_mbps=100_000.0, max_concurrent_installs=8)
+    )
+    return testbed
+
+
+def make_orchestrator(
+    testbed: Testbed,
+    store: "ControlPlaneStore | None" = None,
+    directory: Optional[str] = None,
+    seed: int = 7,
+    **config_overrides,
+) -> Orchestrator:
+    """A fresh control plane over the (surviving) testbed southbound.
+
+    Pass ``store`` to reopen an existing store (the restart path) or
+    ``directory`` to open a new one; each call gets its own simulator
+    and PLMN pool — exactly what a process restart loses.
+    """
+    config = OrchestratorConfig(
+        durability_dir=directory,
+        monitoring_epoch_s=60.0,
+        **config_overrides,
+    )
+    return Orchestrator(
+        sim=Simulator(),
+        allocator=testbed.allocator,
+        plmn_pool=PlmnPool(size=testbed.config.plmn_pool_size),
+        config=config,
+        streams=RandomStreams(seed=seed),
+        registry=testbed.registry,
+        store=store,
+    )
+
+
+def reopen_store(directory: str, **kwargs) -> ControlPlaneStore:
+    """The restart side of a simulated crash: a fresh store handle over
+    the same journal + snapshots."""
+    return ControlPlaneStore(directory, **kwargs)

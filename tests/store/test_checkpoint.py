@@ -1,0 +1,136 @@
+"""Snapshot/checkpoint behavior of the control-plane store: atomic
+writes, corrupt-latest fallback, journal compaction, auto-checkpoint
+wiring and the durable event cursor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.codec import ReplayState
+from repro.store.snapshot import SnapshotStore
+from repro.store.store import ControlPlaneStore, NullStore, StoreError, open_store
+
+from tests.conftest import make_request
+from tests.store.conftest import make_orchestrator
+from repro.traffic.patterns import ConstantProfile
+
+
+class TestSnapshotStore:
+    def test_write_then_load_round_trip(self, tmp_path):
+        snapshots = SnapshotStore(str(tmp_path))
+        snapshots.write({"time": 5.0, "live": {}}, lsn=42)
+        state, lsn = snapshots.load_latest()
+        assert lsn == 42
+        assert state["time"] == 5.0
+
+    def test_latest_wins_and_old_snapshots_pruned(self, tmp_path):
+        snapshots = SnapshotStore(str(tmp_path))
+        for lsn in (10, 20, 30):
+            snapshots.write({"lsn_marker": lsn}, lsn=lsn)
+        state, lsn = snapshots.load_latest()
+        assert lsn == 30
+        # Latest + one fallback are retained, older pruned.
+        assert snapshots.list_lsns() == [20, 30]
+
+    def test_corrupt_latest_falls_back_to_predecessor(self, tmp_path):
+        snapshots = SnapshotStore(str(tmp_path))
+        snapshots.write({"generation": 1}, lsn=10)
+        path = snapshots.write({"generation": 2}, lsn=20)
+        with open(path, "w") as handle:
+            handle.write("{ torn checkpoi")
+        state, lsn = snapshots.load_latest()
+        assert (state["generation"], lsn) == (1, 10)
+
+    def test_no_snapshot_returns_none(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).load_latest() is None
+
+
+class TestControlPlaneStore:
+    def test_checkpoint_compacts_journal(self, tmp_path):
+        store = ControlPlaneStore(str(tmp_path))
+        for i in range(20):
+            store.append(f"t.{i}", time=float(i))
+        assert store.records_since_checkpoint == 20
+        lsn = store.checkpoint({"time": 19.0})
+        assert lsn == 20
+        assert store.snapshot_lsn == 20
+        # Only the post-checkpoint audit marker remains in the journal.
+        assert [r.record_type for r in store.records()] == ["checkpoint.written"]
+        snapshot, tail = store.load()
+        assert snapshot["time"] == 19.0
+        assert [r.record_type for r in tail] == ["checkpoint.written"]
+
+    def test_should_checkpoint_threshold(self, tmp_path):
+        store = ControlPlaneStore(str(tmp_path), checkpoint_every=5)
+        for i in range(4):
+            store.append("t")
+        assert not store.should_checkpoint()
+        store.append("t")
+        assert store.should_checkpoint()
+        store.checkpoint({"time": 0.0})
+        assert not store.should_checkpoint()
+
+    def test_events_after_filters_and_limits(self, tmp_path):
+        store = ControlPlaneStore(str(tmp_path))
+        for seq in range(1, 6):
+            store.append("event.emitted", time=0.0, event={"seq": seq, "type": "x"})
+            store.append("slice.activated", time=0.0, slice_id=f"s{seq}")
+        pairs = store.events_after(0)
+        assert len(pairs) == 5
+        assert all(event["type"] == "x" for _, event in pairs)
+        limited = store.events_after(pairs[1][0], limit=2)
+        assert [event["seq"] for _, event in limited] == [3, 4]
+
+    def test_open_store_dispatch(self, tmp_path):
+        assert isinstance(open_store(None), NullStore)
+        assert isinstance(open_store(str(tmp_path / "d")), ControlPlaneStore)
+
+    def test_null_store_is_inert(self):
+        store = NullStore()
+        assert store.append("anything") == 0
+        assert store.records() == []
+        assert store.load() == (None, [])
+        assert not store.should_checkpoint()
+        assert store.status() == {"enabled": False}
+        with pytest.raises(StoreError):
+            store.checkpoint({})
+
+
+class TestOrchestratorCheckpoint:
+    def test_manual_checkpoint_round_trips_live_state(
+        self, durable_testbed, tmp_path
+    ):
+        orch = make_orchestrator(durable_testbed, directory=str(tmp_path / "store"))
+        orch.start()
+        decision = orch.submit(make_request(throughput_mbps=10.0), ConstantProfile(10.0))
+        assert decision.admitted
+        orch.sim.run_until(10.0)  # activate
+        result = orch.checkpoint()
+        assert result["checkpoint_lsn"] > 0
+        snapshot, tail = orch.store.load()
+        state = ReplayState.restore(snapshot, tail)
+        assert decision.slice_id in state.live
+        assert state.live[decision.slice_id]["status"] == "active"
+
+    def test_auto_checkpoint_from_monitoring_loop(self, durable_testbed, tmp_path):
+        orch = make_orchestrator(
+            durable_testbed,
+            directory=str(tmp_path / "store"),
+            checkpoint_every_records=5,
+        )
+        orch.start()
+        for _ in range(3):
+            assert orch.submit(
+                make_request(throughput_mbps=5.0), ConstantProfile(5.0)
+            ).admitted
+        assert orch.store.should_checkpoint()
+        orch.sim.run_until(61.0)  # one monitoring epoch
+        assert orch.store.snapshot_lsn > 0
+        assert not orch.store.should_checkpoint()
+
+    def test_checkpoint_requires_durability(self, durable_testbed):
+        from repro.core.orchestrator import OrchestratorError
+
+        orch = make_orchestrator(durable_testbed)  # NullStore
+        with pytest.raises(OrchestratorError):
+            orch.checkpoint()

@@ -1,0 +1,171 @@
+"""Unit tests of the write-ahead journal: LSN discipline, durability,
+crash tolerance of the read path, and compaction."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.store.journal import Journal, JournalCorrupt, JournalError
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "journal.jsonl")
+
+
+class TestAppend:
+    def test_lsns_monotonic_from_one(self, path):
+        journal = Journal(path)
+        assert journal.last_lsn == 0
+        assert [journal.append(f"t.{i}") for i in range(5)] == [1, 2, 3, 4, 5]
+        assert journal.last_lsn == 5
+
+    def test_records_round_trip_payload(self, path):
+        journal = Journal(path)
+        journal.append("slice.installed", time=12.5, slice_id="s1", n=3)
+        (record,) = journal.records()
+        assert record.lsn == 1
+        assert record.time == 12.5
+        assert record.record_type == "slice.installed"
+        assert record.data == {"slice_id": "s1", "n": 3}
+
+    def test_numpy_payloads_are_coerced(self, path):
+        import numpy as np
+
+        journal = Journal(path)
+        journal.append("t", value=np.float64(1.5), count=np.int64(3))
+        (record,) = journal.records()
+        assert record.data == {"value": 1.5, "count": 3}
+
+    def test_append_visible_on_disk_without_close(self, path):
+        """Every append is flushed — a crash (no close) loses nothing."""
+        journal = Journal(path)
+        journal.append("a")
+        journal.append("b")
+        # A second reader (the "restarted process") sees both records
+        # while the first handle is still open.
+        assert [r.record_type for r in Journal(path).records()] == ["a", "b"]
+
+    def test_lsn_numbering_resumes_across_restart(self, path):
+        journal = Journal(path)
+        journal.append("a")
+        journal.append("b")
+        journal.close()
+        reopened = Journal(path)
+        assert reopened.last_lsn == 2
+        assert reopened.append("c") == 3
+
+    def test_closed_journal_drops_appends(self, path):
+        """Crash semantics: a dead process's writes never land."""
+        journal = Journal(path)
+        journal.append("before")
+        journal.close()
+        assert journal.append("after") == 0
+        assert [r.record_type for r in Journal(path).records()] == ["before"]
+
+    def test_fsync_every_validation(self, path):
+        with pytest.raises(JournalError):
+            Journal(path, fsync_every=-1)
+
+
+class TestCrashTolerance:
+    def test_torn_tail_ignored(self, path):
+        journal = Journal(path)
+        journal.append("a")
+        journal.append("b")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"lsn": 3, "t": 0.0, "type": "c", "da')  # torn write
+        records = Journal(path).records()
+        assert [r.record_type for r in records] == ["a", "b"]
+        # And numbering never reuses the torn record's lsn space wrongly:
+        assert Journal(path).append("c") == 3
+
+    def test_truncated_tail_ignored(self, path):
+        journal = Journal(path)
+        journal.append("a")
+        journal.close()
+        with open(path, "rb+") as handle:
+            handle.seek(-10, os.SEEK_END)
+            handle.truncate()
+        assert Journal(path).records() == []
+
+    def test_corrupt_middle_raises(self, path):
+        journal = Journal(path)
+        journal.append("a")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("NOT JSON AT ALL\n")
+            handle.write(
+                json.dumps({"lsn": 2, "t": 0.0, "type": "b", "data": {}}) + "\n"
+            )
+        with pytest.raises(JournalCorrupt):
+            Journal(path)
+
+    def test_empty_and_missing_files(self, path):
+        assert Journal(path).records() == []  # created empty
+        other = str(os.path.dirname(path)) + "/never-written.jsonl"
+        journal = Journal(other)
+        assert journal.last_lsn == 0
+
+
+class TestCompaction:
+    def test_compact_drops_covered_prefix(self, path):
+        journal = Journal(path)
+        for i in range(10):
+            journal.append(f"t.{i}")
+        dropped = journal.compact(upto_lsn=7)
+        assert dropped == 7
+        assert [r.lsn for r in journal.records()] == [8, 9, 10]
+        # Appends continue past the old lsn space.
+        assert journal.append("next") == 11
+
+    def test_records_after_cursor(self, path):
+        journal = Journal(path)
+        for i in range(5):
+            journal.append(f"t.{i}")
+        assert [r.lsn for r in journal.records(after_lsn=3)] == [4, 5]
+
+
+class TestLsnContinuity:
+    def test_terminated_corrupt_tail_raises(self, path):
+        """A newline-terminated final line completed its write (the
+        record was acknowledged) — damage there is corruption, not a
+        benign torn tail."""
+        journal = Journal(path)
+        journal.append("a")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"lsn": 2, "t": 0.0, "type": "b", "broken\n')
+        with pytest.raises(JournalCorrupt):
+            Journal(path)
+
+    def test_store_never_reissues_lsns_after_compaction_window_crash(
+        self, tmp_path
+    ):
+        """Crash after compaction emptied the journal but before the
+        audit marker landed: reopening must resume LSNs past the
+        snapshot, or consumer cursors freeze and the stale snapshot
+        outranks every newer one."""
+        from repro.store.store import ControlPlaneStore
+
+        directory = str(tmp_path / "store")
+        store = ControlPlaneStore(directory)
+        for i in range(5):
+            store.append(f"t.{i}")
+        store.checkpoint({"time": 0.0})  # snapshot at lsn 5
+        # Simulate the crash window: wipe the journal (as if the marker
+        # append never landed) and reopen.
+        store.close()
+        open(directory + "/journal.jsonl", "w").close()
+        reopened = ControlPlaneStore(directory)
+        assert reopened.append("after-restart") > 5
+        # A new checkpoint must outrank the pre-crash snapshot.
+        lsn = reopened.checkpoint({"time": 1.0, "marker": "new"})
+        assert lsn > 5
+        state, loaded_lsn = reopened.snapshots.load_latest()
+        assert loaded_lsn == lsn
+        assert state.get("marker") == "new"

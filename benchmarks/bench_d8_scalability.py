@@ -15,7 +15,13 @@ per second regardless; the batched install of a burst is bounded by
 the slowest pipeline stage, not the sum of every domain's latency, so
 it beats the sequential path by well over 2× at 32 slices.
 
-A third experiment (D8d) measures *stall isolation*: one southbound
+A third experiment (D8c) turns the control-plane observability
+subsystem on over the same burst: it publishes the per-stage latency
+breakdown (admission / placement / prepare / commit / journal) that
+falls out of the tracing spans, and measures what the instrumentation
+itself costs against the disabled no-op path.
+
+A fourth experiment (D8d) measures *stall isolation*: one southbound
 operation hangs mid-batch (``MockDriver.stall()``).  The threaded
 planner baseline parks a worker thread on the hung blocking call and
 cannot settle the batch until the backend comes back; the async
@@ -50,10 +56,36 @@ from tests.conftest import make_request
 
 from benchmarks.conftest import emit_table
 
-SCALES = (2, 4, 8, 16)
+#: Testbed sizes swept by D8 (eNB counts).  Env-scalable: the default
+#: keeps the historical curve; ``D8_SCALES=2,4,8,16,64,128,256`` pushes
+#: to fleet scale (the larger points take minutes at the full 1 h
+#: horizon — shrink ``D8_HORIZON_S`` alongside).
+SCALES = tuple(
+    int(token)
+    for token in os.environ.get("D8_SCALES", "2,4,8,16").split(",")
+    if token.strip()
+)
+
+#: Simulated horizon of each sweep point.
+HORIZON_S = float(os.environ.get("D8_HORIZON_S", "3600"))
 
 #: Burst size of the batched-install experiment (CI smoke shrinks it).
 BATCH_SLICES = int(os.environ.get("D8_BATCH_SLICES", "32"))
+
+#: Repeats of the instrumentation-overhead comparison (min-of-N).
+OBS_REPEATS = int(os.environ.get("D8_OBS_REPEATS", "3"))
+
+#: Pipeline stages reported in the per-stage latency breakdown.
+OBS_STAGES = (
+    "install.batch",
+    "install.job",
+    "admission",
+    "placement",
+    "driver.prepare",
+    "driver.commit",
+    "journal",
+    "event",
+)
 
 #: Southbound latency emulated per driver call (a real controller's
 #: RPC + configuration time; the simulator's in-process calls are
@@ -62,9 +94,9 @@ PREPARE_LATENCY_S = 0.002
 COMMIT_LATENCY_S = 0.0005
 
 
-def run_scale(n_enbs: int, seed: int = 5):
+def run_scale(n_enbs: int, seed: int = 5, horizon_s: float = HORIZON_S):
     config = ScenarioConfig(
-        horizon_s=3_600.0,
+        horizon_s=horizon_s,
         arrival_rate_per_s=n_enbs / 120.0,  # constant per-cell load
         seed=seed,
         testbed=TestbedConfig(
@@ -101,17 +133,20 @@ def test_d8_scale_sweep(benchmark):
         )
     emit_table(
         "D8",
-        "orchestrator scalability (1 h horizon, constant per-cell load)",
+        f"orchestrator scalability ({HORIZON_S / 3600.0:g} h horizon, "
+        "constant per-cell load)",
         ["enbs", "requests", "admitted", "events", "wall_s", "ms_per_request", "events_per_s"],
         rows,
     )
-    # Sub-quadratic growth: 8× the cells costs well under 64× per request.
-    assert per_request_cost[16] < per_request_cost[2] * 64
+    # Sub-quadratic growth: k× the cells costs well under k²× per request.
+    smallest, largest = min(SCALES), max(SCALES)
+    ratio = largest / smallest
+    assert per_request_cost[largest] < per_request_cost[smallest] * ratio**2
     # Timed kernel: the smallest scenario end-to-end.
     benchmark.pedantic(lambda: run_scale(2, seed=9), rounds=1, iterations=1)
 
 
-def _latency_orchestrator() -> Orchestrator:
+def _latency_orchestrator(observability: bool = False) -> Orchestrator:
     """An orchestrator whose four southbound domains are thread-safe
     mock backends with per-call latency — placement planning still uses
     the real testbed, but install time is dominated by the (emulated)
@@ -144,14 +179,20 @@ def _latency_orchestrator() -> Orchestrator:
         allocator=testbed.allocator,
         plmn_pool=PlmnPool(size=2 * BATCH_SLICES + 8),
         registry=registry,
-        config=OrchestratorConfig(respect_calendar=False),
+        config=OrchestratorConfig(
+            respect_calendar=False, observability=observability
+        ),
         streams=RandomStreams(seed=11),
     )
 
 
-def _install_burst(n_slices: int, batched: bool) -> float:
-    """Install ``n_slices`` admitted slices; returns wall-clock seconds."""
-    orch = _latency_orchestrator()
+def _install_burst_observed(
+    n_slices: int, batched: bool, observability: bool
+):
+    """Install ``n_slices`` admitted slices; returns ``(wall_s, obs)``
+    where ``obs`` is the orchestrator's observability sink (the no-op
+    singleton when ``observability`` is off)."""
+    orch = _latency_orchestrator(observability=observability)
     admissions = [
         (
             make_request(throughput_mbps=10.0, duration_s=86_400.0),
@@ -171,7 +212,42 @@ def _install_burst(n_slices: int, batched: bool) -> float:
     assert all(d.admitted for d in decisions), [
         d.reason for d in decisions if not d.admitted
     ]
+    return elapsed, orch.obs
+
+
+def _install_burst(n_slices: int, batched: bool) -> float:
+    """Install ``n_slices`` admitted slices; returns wall-clock seconds."""
+    elapsed, _ = _install_burst_observed(n_slices, batched, observability=False)
     return elapsed
+
+
+def measure_obs_overhead(n_slices: int, repeats: int = OBS_REPEATS):
+    """Min-of-N wall clock of the batched burst with observability off
+    vs. on; returns ``(off_s, on_s, overhead_fraction, stage_summary)``.
+
+    Min-of-N because the question is intrinsic cost, not scheduler
+    noise: the fastest observed run of each mode is the closest to the
+    true floor on a shared runner.  One unmeasured warmup pair primes
+    caches, and the modes are interleaved so drift (thermal, noisy
+    neighbours) hits both equally instead of biasing whichever mode
+    ran last.
+    """
+    _install_burst_observed(n_slices, batched=True, observability=False)
+    _install_burst_observed(n_slices, batched=True, observability=True)
+    off_runs = []
+    on_runs = []
+    for _ in range(repeats):
+        off_runs.append(
+            _install_burst_observed(n_slices, batched=True, observability=False)[0]
+        )
+        on_runs.append(
+            _install_burst_observed(n_slices, batched=True, observability=True)
+        )
+    off_s = min(off_runs)
+    on_s = min(elapsed for elapsed, _ in on_runs)
+    _, obs = min(on_runs, key=lambda pair: pair[0])
+    overhead = on_s / max(off_s, 1e-9) - 1.0
+    return off_s, on_s, overhead, obs.stage_summary(OBS_STAGES)
 
 
 def test_d8_batched_install_speedup(benchmark):
@@ -200,6 +276,59 @@ def test_d8_batched_install_speedup(benchmark):
     # Timed kernel: a small batched burst end-to-end.
     benchmark.pedantic(
         lambda: _install_burst(min(8, BATCH_SLICES), batched=True),
+        rounds=1,
+        iterations=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# D8c — observability: per-stage breakdown + instrumentation overhead
+# ----------------------------------------------------------------------
+
+
+def test_d8c_stage_breakdown_and_overhead(benchmark):
+    """The control-plane observability subsystem measured on the same
+    burst D8b times: where a batched install actually spends its time
+    (per-stage histograms fed by the tracing spans), and what the
+    instrumentation itself costs versus the disabled no-op path."""
+    off_s, on_s, overhead, stages = measure_obs_overhead(BATCH_SLICES)
+    emit_table(
+        "D8c",
+        f"instrumentation overhead, {BATCH_SLICES}-slice batched burst "
+        f"(min of {OBS_REPEATS})",
+        ["mode", "wall_s", "overhead"],
+        [
+            ["observability off (no-op)", off_s, 0.0],
+            ["observability on", on_s, overhead],
+        ],
+    )
+    emit_table(
+        "D8c-stages",
+        f"per-stage latency breakdown, {BATCH_SLICES}-slice batched burst",
+        ["stage", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms"],
+        [
+            [
+                name,
+                stats["count"],
+                stats["p50_ms"],
+                stats["p95_ms"],
+                stats["p99_ms"],
+                stats["max_ms"],
+            ]
+            for name, stats in stages.items()
+        ],
+    )
+    # Every pipeline stage must actually be covered by the tracing.
+    for stage in ("admission", "placement", "driver.prepare", "driver.commit"):
+        assert stage in stages, f"stage {stage!r} produced no observations"
+    # Loose sanity bar; the strict <=5% gate runs in benchmarks/ci_gate.py
+    # over min-of-N on the quieter CI path.
+    assert overhead < 0.5, f"observability overhead {overhead:.1%}"
+    # Timed kernel: a small observed burst end-to-end.
+    benchmark.pedantic(
+        lambda: _install_burst_observed(
+            min(8, BATCH_SLICES), batched=True, observability=True
+        ),
         rounds=1,
         iterations=1,
     )

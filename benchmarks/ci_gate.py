@@ -16,6 +16,16 @@ asserted floor is broken:
   recovery smoke (churn → crash → fresh control plane → reconcile)
   must come back with zero lost slices and zero leaked reservations;
   the measured recovery time is published in the artifact.
+- **Observability** — the tracing/histogram instrumentation must cost
+  at most 5% over the disabled no-op path on the same batched burst
+  (best of up to three interleaved min-of-N measurements — a real
+  regression reproduces in every attempt, a scheduler spike does
+  not); the per-stage latency breakdown it produces is published in
+  the artifact.
+- **D8 sweep** (warn-only) — the per-request decision cost across
+  testbed scales is recorded so the scaling curve is inspectable per
+  commit; a curve that stops being flat prints a warning but does not
+  fail the gate (shared runners are too noisy for a hard scaling bar).
 
 The floors are deliberately *below* the full-scale assertions in
 ``bench_d8_scalability.py`` (2.0× at 32 slices) so the gate is robust
@@ -54,6 +64,8 @@ from benchmarks.bench_d8_scalability import (  # noqa: E402
     STALL_TIMEOUT_S,
     _install_burst,
     _stalled_batch,
+    measure_obs_overhead,
+    run_scale,
 )
 from repro.drivers.planner import (  # noqa: E402
     BatchInstallPlanner,
@@ -64,8 +76,62 @@ from repro.drivers.planner import (  # noqa: E402
 FLOOR_D8B_SPEEDUP = 1.5
 FLOOR_D8D_ISOLATION = 1.5
 
+#: Observability instrumentation may cost at most this fraction of the
+#: disabled path on the batched-burst wall clock (hard gate).
+OBS_OVERHEAD_MAX = float(os.environ.get("D8_OBS_OVERHEAD_MAX", "0.05"))
+OBS_GATE_REPEATS = int(os.environ.get("D8_OBS_GATE_REPEATS", "5"))
+OBS_GATE_ATTEMPTS = int(os.environ.get("D8_OBS_GATE_ATTEMPTS", "3"))
+
+#: D8 scalability sweep points (eNB counts) and their shortened-horizon
+#: simulated hour — the gate records the ms-per-request curve per
+#: commit and *warns* (never fails) when it stops being flat.
+SWEEP_SCALES = tuple(
+    int(token)
+    for token in os.environ.get("D8_SWEEP_SCALES", "2,8,32").split(",")
+    if token.strip()
+)
+SWEEP_HORIZON_S = float(os.environ.get("D8_SWEEP_HORIZON_S", "600"))
+#: Warn when the per-request cost at the largest sweep point exceeds
+#: this multiple of the smallest — the curve should stay near-flat.
+SWEEP_FLATNESS_RATIO = float(os.environ.get("D8_FLATNESS_RATIO", "3.0"))
+
 #: Slices churned through the recovery smoke.
 SMOKE_SLICES = 8
+
+
+def run_scale_sweep(warnings: list) -> dict:
+    """D8 at CI scale: the per-request decision-cost curve across
+    ``SWEEP_SCALES``, with a warn-only flatness check (shared runners
+    are too noisy for a hard scaling gate, but the recorded curve makes
+    a creeping super-linear regression visible commit over commit)."""
+    curve = {}
+    points = []
+    for n_enbs in SWEEP_SCALES:
+        result, elapsed = run_scale(n_enbs, horizon_s=SWEEP_HORIZON_S)
+        cost_ms = 1_000.0 * elapsed / max(1, result.requests)
+        curve[n_enbs] = cost_ms
+        points.append(
+            {
+                "enbs": n_enbs,
+                "requests": result.requests,
+                "wall_s": round(elapsed, 4),
+                "ms_per_request": round(cost_ms, 4),
+            }
+        )
+    smallest, largest = min(SWEEP_SCALES), max(SWEEP_SCALES)
+    flatness = curve[largest] / max(curve[smallest], 1e-9)
+    if flatness > SWEEP_FLATNESS_RATIO:
+        warnings.append(
+            f"D8 sweep: ms_per_request grew {flatness:.2f}x from "
+            f"{smallest} to {largest} eNBs (flatness bar "
+            f"{SWEEP_FLATNESS_RATIO}x) — decision cost is no longer flat"
+        )
+    return {
+        "horizon_s": SWEEP_HORIZON_S,
+        "points": points,
+        "flatness": round(flatness, 2),
+        "flatness_warn_ratio": SWEEP_FLATNESS_RATIO,
+    }
 
 
 def run_recovery_smoke(failures: list) -> dict:
@@ -163,8 +229,9 @@ def run_recovery_smoke(failures: list) -> dict:
 
 
 def run_gate() -> dict:
-    """Run both experiments; returns the artifact payload."""
+    """Run the experiments; returns the artifact payload."""
     failures = []
+    warnings = []
 
     sequential_s = _install_burst(BATCH_SLICES, batched=False)
     batched_s = _install_burst(BATCH_SLICES, batched=True)
@@ -189,6 +256,37 @@ def run_gate() -> dict:
         failures.append(
             f"D8d: async engine took {async_s:.2f}s — it waited out the stall"
         )
+
+    # Observability: instrumentation overhead (hard <= OBS_OVERHEAD_MAX
+    # gate) + the per-stage latency breakdown published per commit.
+    # Gated on the best of up to OBS_GATE_ATTEMPTS independent
+    # interleaved min-of-N measurements: the burst wall clock jitters
+    # by tens of percent on a shared runner, and a real instrumentation
+    # regression reproduces in every attempt while a scheduler spike
+    # does not.  Early-exits on the first attempt inside budget.
+    obs_attempts = []
+    obs_off_s = obs_on_s = 0.0
+    obs_overhead = float("inf")
+    obs_stages = {}
+    for _ in range(max(1, OBS_GATE_ATTEMPTS)):
+        off_s, on_s, overhead, stages = measure_obs_overhead(
+            BATCH_SLICES, repeats=OBS_GATE_REPEATS
+        )
+        obs_attempts.append(round(overhead, 4))
+        if overhead < obs_overhead:
+            obs_off_s, obs_on_s, obs_overhead, obs_stages = (
+                off_s, on_s, overhead, stages
+            )
+        if obs_overhead <= OBS_OVERHEAD_MAX:
+            break
+    if obs_overhead > OBS_OVERHEAD_MAX:
+        failures.append(
+            f"observability: instrumentation overhead {obs_overhead:.1%} > "
+            f"budget {OBS_OVERHEAD_MAX:.0%} on the {BATCH_SLICES}-slice burst "
+            f"(best of {len(obs_attempts)} attempts: {obs_attempts})"
+        )
+
+    sweep = run_scale_sweep(warnings)
 
     import tempfile
 
@@ -230,8 +328,29 @@ def run_gate() -> dict:
             "speedup": round(d12["speedup"], 2),
             "floor": FLOOR_D12_SPEEDUP,
         },
+        "observability": {
+            "slices": BATCH_SLICES,
+            "repeats": OBS_GATE_REPEATS,
+            "attempts": obs_attempts,
+            "disabled_s": round(obs_off_s, 4),
+            "enabled_s": round(obs_on_s, 4),
+            "overhead": round(obs_overhead, 4),
+            "overhead_max": OBS_OVERHEAD_MAX,
+            "stages": {
+                name: {
+                    "count": stats["count"],
+                    "p50_ms": stats["p50_ms"],
+                    "p95_ms": stats["p95_ms"],
+                    "p99_ms": stats["p99_ms"],
+                    "max_ms": stats["max_ms"],
+                }
+                for name, stats in obs_stages.items()
+            },
+        },
+        "d8_sweep": sweep,
         "recovery_smoke": smoke,
         "failures": failures,
+        "warnings": warnings,
         "ok": not failures,
     }
 
@@ -246,6 +365,8 @@ def main(argv=None) -> int:
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(json.dumps(payload, indent=2, sort_keys=True))
+    for warning in payload["warnings"]:
+        print(f"\nPERF GATE WARNING: {warning}", file=sys.stderr)
     if payload["failures"]:
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for failure in payload["failures"]:
@@ -256,6 +377,8 @@ def main(argv=None) -> int:
         f"(floor {FLOOR_D8B_SPEEDUP}x), "
         f"D8d {payload['d8d']['isolation']}x (floor {FLOOR_D8D_ISOLATION}x), "
         f"D12 {payload['d12']['speedup']}x (floor {FLOOR_D12_SPEEDUP}x), "
+        f"obs overhead {payload['observability']['overhead']:.1%} "
+        f"(budget {OBS_OVERHEAD_MAX:.0%}), "
         f"recovery smoke {payload['recovery_smoke']['recovery_s']}s"
     )
     return 0

@@ -70,10 +70,18 @@ class Request:
 
 @dataclass
 class Response:
-    """An API response with status code and JSON body."""
+    """An API response with status code and JSON body.
+
+    Non-JSON endpoints (the Prometheus exposition at ``GET
+    /v1/admin/metrics``) set ``text`` and ``content_type`` instead of
+    ``body``; JSON consumers are unaffected — ``json()`` still
+    serializes ``body``.
+    """
 
     status: int
     body: dict = field(default_factory=dict)
+    text: Optional[str] = None
+    content_type: str = "application/json"
 
     @property
     def ok(self) -> bool:

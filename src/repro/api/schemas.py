@@ -328,6 +328,36 @@ def parse_int_param(
     return value
 
 
+#: Accepted spellings for boolean query parameters.
+_BOOL_TRUE = ("1", "true", "yes", "on")
+_BOOL_FALSE = ("0", "false", "no", "off")
+
+
+def parse_bool_param(
+    query: Dict[str, str], name: str, default: bool = False
+) -> bool:
+    """Parse a boolean query parameter (``?slow=true``).
+
+    Raises:
+        ValidationError: code ``invalid_parameter`` on an unrecognized
+            spelling.
+    """
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return default
+    lowered = raw.strip().lower()
+    if lowered in _BOOL_TRUE:
+        return True
+    if lowered in _BOOL_FALSE:
+        return False
+    raise ValidationError(
+        "invalid_parameter",
+        f"{name} must be a boolean "
+        f"({'/'.join(_BOOL_TRUE)} or {'/'.join(_BOOL_FALSE)}), got {raw!r}",
+        field=name,
+    )
+
+
 def parse_pagination(
     query: Dict[str, str], default_limit: int = 50, max_limit: int = 500
 ) -> Tuple[int, int]:
@@ -353,6 +383,7 @@ __all__ = [
     "WHAT_IF",
     "error_body",
     "error_response",
+    "parse_bool_param",
     "parse_int_param",
     "parse_pagination",
 ]

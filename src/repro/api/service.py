@@ -26,6 +26,7 @@ from repro.api.schemas import (
     SLICE_MODIFY,
     ValidationError,
     WHAT_IF,
+    parse_bool_param,
     parse_int_param,
 )
 from repro.core.admission import AdmissionDecision
@@ -844,6 +845,61 @@ class SliceService:
                 "ops_compensated": orchestrator.planner.ops_compensated,
             },
         }
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition for ``GET /v1/admin/metrics``.
+
+        Control-plane histograms/counters/gauges under the ``cp_``
+        namespace, sim-telemetry lines re-emitted under ``sim_``.  With
+        observability disabled only the sim namespace is rendered.
+        """
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(
+            self.orchestrator.obs, sim_metrics=self.orchestrator.metrics
+        )
+
+    def traces(self, query: Dict[str, str]) -> dict:
+        """Finished traces (or slow spans) for ``GET /v1/admin/traces``.
+
+        Query: ``limit`` (default 50, max 1000) and ``slow`` — when
+        true, returns the slow-span audit log (spans that exceeded the
+        tracer's threshold, each with its ancestry chain) instead of
+        assembled traces.
+
+        Raises:
+            ValidationError: On malformed ``limit``/``slow`` values.
+        """
+        limit = parse_int_param(query, "limit", default=50, minimum=1, maximum=1000)
+        slow = parse_bool_param(query, "slow", default=False)
+        obs = self.orchestrator.obs
+        if not obs.enabled:
+            return {
+                "enabled": False,
+                "slow": slow,
+                "count": 0,
+                "traces": [],
+                "slow_spans": [],
+            }
+        body: Dict[str, Any] = {
+            "enabled": True,
+            "slow": slow,
+            "tracer": obs.tracer.status(),
+        }
+        if slow:
+            spans = obs.tracer.slow_spans(limit)
+            body.update(
+                {
+                    "count": len(spans),
+                    "slow_threshold_ms": obs.tracer.slow_threshold_ms,
+                    "slow_spans": spans,
+                    "traces": [],
+                }
+            )
+        else:
+            traces = obs.tracer.traces(limit)
+            body.update({"count": len(traces), "traces": traces, "slow_spans": []})
+        return body
 
     def checkpoint(self) -> dict:
         """Force a snapshot + journal compaction

@@ -25,6 +25,9 @@ Endpoints (full reference in ``docs/API.md``):
   consumers can resume across orchestrator restarts.
 - ``GET /v1/admin/state`` / ``POST /v1/admin/checkpoint`` — operator
   surface over the durable control-plane store.
+- ``GET /v1/admin/metrics`` — Prometheus text exposition (control-plane
+  ``cp_`` + sim ``sim_`` namespaces); ``GET /v1/admin/traces?slow=&limit=``
+  — finished pipeline traces / the slow-span audit log.
 - ``POST /v1/whatif`` — feasibility probe.
 - ``GET /v1/dashboard`` / ``GET /v1/domains/{domain}`` — observability.
 
@@ -45,6 +48,7 @@ from repro.api.schemas import (
     parse_pagination,
 )
 from repro.api.service import ServiceError, SliceService
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
 
 TENANT_HEADER = "x-tenant-id"
 
@@ -227,6 +231,16 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
     def get_admin_state(request: Request) -> Response:
         return Response(status=200, body=service.admin_state())
 
+    def get_admin_metrics(request: Request) -> Response:
+        return Response(
+            status=200,
+            text=service.metrics_prometheus(),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def get_admin_traces(request: Request) -> Response:
+        return Response(status=200, body=service.traces(request.query))
+
     def post_admin_checkpoint(request: Request) -> Response:
         return Response(status=200, body=service.checkpoint())
 
@@ -263,6 +277,8 @@ def build_v1_api(service: SliceService, api: Optional[RestApi] = None) -> RestAp
     api.route("GET", "/v1/domains/{domain}", _guarded(get_domain))
     api.route("GET", "/v1/admin/state", _guarded(get_admin_state))
     api.route("POST", "/v1/admin/checkpoint", _guarded(post_admin_checkpoint))
+    api.route("GET", "/v1/admin/metrics", _guarded(get_admin_metrics))
+    api.route("GET", "/v1/admin/traces", _guarded(get_admin_traces))
     return api
 
 

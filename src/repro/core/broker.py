@@ -17,6 +17,7 @@ ablated in ``benchmarks/bench_d9_batch_window.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.admission import AdmissionDecision, AdmissionPolicy, KnapsackPolicy
@@ -119,6 +120,11 @@ class SliceBroker:
         self._flush_armed = False
         if not self._queue:
             return []
+        obs = self.orchestrator.obs
+        flush_started = None
+        if obs.enabled:
+            obs.gauge_set("queue.broker_window", float(len(self._queue)))
+            flush_started = perf_counter()
         batch, self._queue = self._queue, []
         self.windows_flushed += 1
         candidates: List[Tuple[SliceRequest, "object"]] = []
@@ -131,7 +137,8 @@ class SliceBroker:
                 )
             )
         free = self.orchestrator.allocator.aggregate_free_vector()
-        batch_decisions = self.policy.decide_batch(candidates, free)
+        with obs.timed("broker.decide", label=type(self.policy).__name__):
+            batch_decisions = self.policy.decide_batch(candidates, free)
         outcomes: List[Optional[AdmissionDecision]] = []
         winners: List[Tuple[int, PendingRequest]] = []
         now = self.orchestrator.sim.now
@@ -172,6 +179,8 @@ class SliceBroker:
             if pending.on_decision is not None:
                 pending.on_decision(outcome)
         self.decisions.extend(outcomes)
+        if flush_started is not None:
+            obs.observe("broker.flush", (perf_counter() - flush_started) * 1000.0)
         return outcomes
 
 

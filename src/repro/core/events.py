@@ -69,6 +69,9 @@ class EventLog:
         #: (the orchestrator journals it, which is what backs the
         #: ``GET /v1/events?after_lsn=`` durable cursor).
         self.sink: Optional[Callable[[OrchestrationEvent], None]] = None
+        #: Optional control-plane observability sink (emit counter +
+        #: buffered-depth gauge); ``None`` keeps emit untouched.
+        self.obs = None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -104,6 +107,10 @@ class EventLog:
         self._events.append(event)
         if self.sink is not None:
             self.sink(event)
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.counter_add("events.emitted")
+            obs.gauge_set("queue.events_buffered", float(len(self._events)))
         return event
 
     def resume_from(self, seq: int) -> None:

@@ -36,8 +36,10 @@ abstraction (see ``docs/ARCHITECTURE.md``).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.admission import (
     AdmissionDecision,
@@ -82,6 +84,7 @@ from repro.epc.attach import AttachProcedure
 from repro.epc.instance import EpcInstance
 from repro.monitoring.collector import TelemetryCollector
 from repro.monitoring.metrics import MetricsRegistry
+from repro.obs import NOOP_OBS, ControlPlaneObservability
 from repro.ran.controller import PlannedCellLoad
 from repro.ran.ue import UserEquipment
 from repro.sim.engine import Simulator
@@ -150,6 +153,20 @@ class OrchestratorConfig:
             appended records (every append is still flushed to the OS
             immediately).  ``1`` = fully synchronous, ``0`` = never
             fsync.
+        observability: Switch for the control-plane observability
+            subsystem (:mod:`repro.obs`): tracing spans across
+            admission → placement → per-domain prepare/commit →
+            journal → event emission, per-stage wall-clock latency
+            histograms, and the ``GET /v1/admin/metrics`` /
+            ``/v1/admin/traces`` surfaces.  Defaults to the
+            ``REPRO_OBS_ENABLED=1`` environment flag (i.e. off); when
+            off, every instrumentation point resolves to a shared
+            no-op singleton — no allocation, no locks, no timing.
+        observability_trace_capacity: Finished traces (and slow-span
+            audit entries) retained in memory.
+        observability_slow_span_ms: Spans at least this slow (wall
+            clock) are retained in the slow-op audit log with their
+            full ancestry.
     """
 
     monitoring_epoch_s: float = 60.0
@@ -168,6 +185,11 @@ class OrchestratorConfig:
     durability_dir: Optional[str] = None
     checkpoint_every_records: int = 512
     journal_fsync_every: int = 32
+    observability: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_OBS_ENABLED", "") == "1"
+    )
+    observability_trace_capacity: int = 256
+    observability_slow_span_ms: float = 250.0
 
 
 @dataclass
@@ -216,6 +238,17 @@ class Orchestrator:
         )
         self.config = config or OrchestratorConfig()
         self.streams = streams or RandomStreams(seed=0)
+        # Control-plane observability (repro.obs): spans + histograms
+        # across the install pipeline.  Disabled (the default) resolves
+        # to the shared no-op singleton — zero per-call allocation.
+        self.obs: Any = (
+            ControlPlaneObservability(
+                trace_capacity=self.config.observability_trace_capacity,
+                slow_span_ms=self.config.observability_slow_span_ms,
+            )
+            if self.config.observability
+            else NOOP_OBS
+        )
         self.metrics = MetricsRegistry()
         self.collector = TelemetryCollector(
             self.metrics,
@@ -225,6 +258,7 @@ class Orchestrator:
         )
         self.ledger = RevenueLedger()
         self.events = EventLog(capacity=self.config.event_log_capacity)
+        self.events.obs = self.obs
         self.sla_monitor = SlaMonitor()
         self.gain_tracker = MultiplexingGainTracker()
         from repro.core.calendar import ResourceCalendar
@@ -238,6 +272,9 @@ class Orchestrator:
             fsync_every=self.config.journal_fsync_every,
             checkpoint_every=self.config.checkpoint_every_records,
         )
+        bind_obs = getattr(self.store, "bind_obs", None)
+        if bind_obs is not None:  # duck-typed store stand-ins may lack it
+            bind_obs(self.obs)
         #: Extra state sections (name → provider) merged into every
         #: checkpoint — the service layer registers its tenant quotas
         #: here so they survive restarts too.
@@ -262,7 +299,16 @@ class Orchestrator:
             batch_size=self.config.install_batch_size,
             operation_timeout_s=self.config.install_timeout_s,
             on_record=self._journal_driver_record if self.store.enabled else None,
+            obs=self.obs,
         )
+        if self.obs.enabled:
+            # Pull an externally supplied planner and the southbound
+            # drivers into the same trace/metric space (a planner with
+            # its own live sink keeps it).
+            if not self.planner.obs.enabled:
+                self.planner.obs = self.obs
+            for driver in self.registry.drivers():
+                driver.obs = self.obs
         self._runtimes: Dict[str, SliceRuntime] = {}
         self._all_slices: Dict[str, NetworkSlice] = {}
         #: (request, profile, optional decision callback) awaiting the
@@ -595,7 +641,8 @@ class Orchestrator:
         fraction = self.cold_start_fraction(request)
         shrunk = self.shrunk_demand(request, fraction)
         free = self.allocator.free_vector()
-        decision = self.admission.decide(request, shrunk, free)
+        with self.obs.timed("admission", label="sync"):
+            decision = self.admission.decide(request, shrunk, free)
         if not decision.admitted:
             return self.reject(request, decision.reason)
         # "Accounting for ... upcoming requests" (paper §2): an immediate
@@ -757,20 +804,26 @@ class Orchestrator:
         profile: TrafficProfile,
         fraction: float,
         reservations: Dict[str, Reservation],
+        span_parent: Any = None,
     ) -> AdmissionDecision:
         """Post-install bookkeeping shared by the sequential and batched
         paths: state transitions, ledger, events, calendar, runtime and
-        the deferred activation."""
+        the deferred activation.  ``span_parent`` (the batched path's
+        per-job span context) hangs the journal/event stages of this
+        job under its trace; the sequential path passes none and stays
+        span-free."""
+        obs = self.obs if span_parent is not None else NOOP_OBS
         request = network_slice.request
         network_slice.transition(SliceState.ADMITTED, self.sim.now)
         self.ledger.book_admission(network_slice.slice_id, request)
-        self.events.emit(
-            self.sim.now,
-            "slice.admitted",
-            slice_id=network_slice.slice_id,
-            tenant_id=request.tenant_id,
-            price=request.price,
-        )
+        with obs.span("event", parent=span_parent):
+            self.events.emit(
+                self.sim.now,
+                "slice.admitted",
+                slice_id=network_slice.slice_id,
+                tenant_id=request.tenant_id,
+                price=request.price,
+            )
         # Keep the calendar in sync (advance bookings committed earlier
         # keep their original window).
         if not self.calendar.has(request.request_id):
@@ -783,15 +836,16 @@ class Orchestrator:
         # WAL: the install is durable from here — a crash after this
         # record must re-adopt the slice, not forfeit it.
         booking = self.calendar.get(request.request_id)
-        self._journal(
-            "slice.installed",
-            request=request_to_dict(request),
-            slice_id=network_slice.slice_id,
-            plmn=network_slice.plmn.plmn_id if network_slice.plmn else None,
-            fraction=fraction,
-            reservations={d: r.reservation_id for d, r in reservations.items()},
-            window=[booking.start, booking.end] if booking is not None else None,
-        )
+        with obs.span("journal", parent=span_parent):
+            self._journal(
+                "slice.installed",
+                request=request_to_dict(request),
+                slice_id=network_slice.slice_id,
+                plmn=network_slice.plmn.plmn_id if network_slice.plmn else None,
+                fraction=fraction,
+                reservations={d: r.reservation_id for d, r in reservations.items()},
+                window=[booking.start, booking.end] if booking is not None else None,
+            )
         runtime = SliceRuntime(
             network_slice=network_slice,
             profile=profile,
@@ -906,9 +960,12 @@ class Orchestrator:
         only the jobs that touched it — every other job in the batch
         commits in its own latency.
         """
+        obs = self.obs
+        batch_span = obs.span("install.batch", jobs=len(admissions))
         results: List[Optional[AdmissionDecision]] = [None] * len(admissions)
         jobs: List[InstallJob] = []
         staged: Dict[int, Tuple[NetworkSlice, TrafficProfile, float]] = {}
+        job_spans: Dict[int, Any] = {}
         # Every job is planned against one capacity snapshot, so picks
         # must see the load the earlier picks staged (otherwise a burst
         # of winners all pins the same "best" cell and the losers fail
@@ -917,19 +974,35 @@ class Orchestrator:
         for index, (request, profile) in enumerate(admissions):
             network_slice = NetworkSlice(request)
             self._all_slices[network_slice.slice_id] = network_slice
+            job_span = obs.span(
+                "install.job",
+                parent=batch_span.context,
+                slice_id=network_slice.slice_id,
+            )
+            job_spans[index] = job_span
+            # Admission stage: cold-start posture + PLMN identity.
+            admission_span = obs.span("admission", parent=job_span.context)
             fraction = self.cold_start_fraction(request)
             try:
                 network_slice.plmn = self.plmn_pool.allocate(network_slice.slice_id)
             except PlmnPoolExhausted as exc:
+                admission_span.finish("error", error=str(exc))
+                job_span.finish("error", error=str(exc))
                 results[index] = self._book_install_rejection(network_slice, str(exc))
                 continue
+            admission_span.finish()
+            # Placement stage: cell probe + candidate-DC ranking.
+            placement_span = obs.span("placement", parent=job_span.context)
             try:
                 attempts = self._plan_install_attempts(
                     network_slice, fraction, planned_cells=planned_cells
                 )
             except TransactionError as exc:
+                placement_span.finish("error", error=str(exc))
+                job_span.finish("error", error=str(exc))
                 results[index] = self._book_install_rejection(network_slice, str(exc))
                 continue
+            placement_span.finish()
             self._journal(
                 "install.started",
                 request=request_to_dict(request),
@@ -948,15 +1021,26 @@ class Orchestrator:
                         )
                     ),
                     tag=index,
+                    # The job span's context rides through the planner's
+                    # state machine so every per-domain prepare/commit
+                    # span parents here no matter which completion
+                    # thread closes it.
+                    span_context=job_span.context,
                 )
             )
         for outcome in self.planner.install(jobs):
             index = outcome.job.tag
             network_slice, profile, fraction = staged[index]
+            job_span = job_spans[index]
             if outcome.ok:
                 results[index] = self._finalize_install(
-                    network_slice, profile, fraction, outcome.reservations
+                    network_slice,
+                    profile,
+                    fraction,
+                    outcome.reservations,
+                    span_parent=job_span.context,
                 )
+                job_span.finish()
             else:
                 # Surface the failed install's unwinds on the feed (the
                 # planner withheld rollbacks of retried-then-successful
@@ -966,7 +1050,9 @@ class Orchestrator:
                 results[index] = self._book_install_rejection(
                     network_slice, str(outcome.error)
                 )
+                job_span.finish("error", error=str(outcome.error))
         self._drain_planner_events()
+        batch_span.finish()
         assert all(decision is not None for decision in results)
         return results  # type: ignore[return-value]
 
@@ -1628,6 +1714,11 @@ class Orchestrator:
     # Monitoring + reconfiguration loop
     # ------------------------------------------------------------------
     def _monitoring_epoch(self) -> None:
+        obs = self.obs
+        epoch_started = perf_counter() if obs.enabled else None
+        if epoch_started is not None:
+            obs.gauge_set("queue.pending_installs", float(len(self._admission_queue)))
+            obs.gauge_set("queue.stuck_releases", float(len(self._stuck_releases)))
         self._epoch_counter += 1
         now = self.sim.now
         # Durable heartbeat: recovery rebases lifecycle clocks against
@@ -1696,6 +1787,10 @@ class Orchestrator:
         # latest snapshot, checkpoint + compact so recovery stays fast.
         if self.store.should_checkpoint():
             self.checkpoint()
+        if epoch_started is not None:
+            obs.observe(
+                "orchestrator.epoch", (perf_counter() - epoch_started) * 1000.0
+            )
 
     def _heal_paths(self, active: Dict[str, SliceRuntime]) -> None:
         """Attempt re-routing, via any repair-capable driver (transport
@@ -1899,6 +1994,7 @@ class Orchestrator:
                 },
             },
             "durability": self.store.status(),
+            "observability": self.obs.status(),
             "domains": {
                 "ran": ran_util,
                 "transport": {

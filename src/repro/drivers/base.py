@@ -39,6 +39,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, ContextManager, Dict, List, Optional, Set, Tuple
 
+from repro.obs import NOOP_OBS
+
 
 class DriverError(RuntimeError):
     """Raised on any southbound driver failure; names the domain."""
@@ -177,6 +179,12 @@ class DomainDriver(abc.ABC):
 
     #: Domain name; also the :class:`~repro.drivers.registry.DriverRegistry` key.
     domain: str = "unknown"
+
+    #: Control-plane observability sink.  The class default is the
+    #: shared no-op singleton (zero overhead); an observability-enabled
+    #: orchestrator rebinds its registry's drivers to the live registry
+    #: so serial-lock wait/hold times are histogrammed per domain.
+    obs = NOOP_OBS
 
     @abc.abstractmethod
     def capabilities(self) -> DriverCapabilities:
@@ -363,8 +371,18 @@ class BaseDriver(DomainDriver):
     def _backend_guard(self) -> ContextManager:
         """The context held across a lifecycle operation: the shared
         serialization lock for serial backends, nothing for backends
-        that declared concurrent capacity."""
+        that declared concurrent capacity.
+
+        With observability enabled the serial lock — the hot lock of
+        every single-capacity backend — is wrapped so its wait and hold
+        times land in the ``driver.serial_lock.{wait,hold}`` histograms
+        (labelled by domain)."""
         if self.capabilities().max_concurrent_installs <= 1:
+            obs = self.obs
+            if obs.enabled:
+                return obs.timed_lock(
+                    self._serial_lock, "driver.serial_lock", label=self.domain
+                )
             return self._serial_lock
         return contextlib.nullcontext()
 

@@ -63,6 +63,7 @@ import threading
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -82,6 +83,7 @@ from repro.drivers.base import (
     ReservationState,
 )
 from repro.drivers.registry import DriverRegistry
+from repro.obs import NOOP_SPAN, default_observability
 from repro.drivers.transaction import (
     InstallTransaction,
     OperationTimeout,
@@ -104,12 +106,19 @@ class InstallJob:
             reservation set of an attempt before commit (raise
             :class:`DriverError` to abort the attempt).
         tag: Opaque caller correlation (e.g. the admission index).
+        span_context: Optional :class:`~repro.obs.span.SpanContext` of
+            the caller's per-job span.  Carried through the job state
+            machine so every southbound operation span parents
+            correctly no matter which completion/timer/shim thread
+            closes it — this is the explicit propagation that replaces
+            thread-locals in the async engine.
     """
 
     slice_id: str
     attempts: Sequence[Mapping[str, DomainSpec]]
     validate: Optional[Callable[[Dict[str, Reservation]], None]] = None
     tag: Any = None
+    span_context: Any = None
 
 
 @dataclass
@@ -189,7 +198,7 @@ class _Op:
     __slots__ = (
         "run", "domain", "kind", "driver", "pool", "timeout_s",
         "reservation", "future", "timer", "_state_lock", "_timed_out",
-        "_completed",
+        "_completed", "span", "queued_at",
     )
 
     def __init__(
@@ -214,6 +223,22 @@ class _Op:
         self._state_lock = threading.Lock()
         self._timed_out = False
         self._completed = False
+        # Span of this southbound op, parented to the job's carried
+        # context; whichever thread settles the op closes it (finish is
+        # idempotent, so the completion/timeout race is safe).
+        obs = run.planner.obs
+        if obs.enabled:
+            self.span = obs.span(
+                f"driver.{kind}",
+                parent=run.job.span_context,
+                label=domain,
+                domain=domain,
+                slice_id=run.job.slice_id,
+            )
+            self.queued_at: Optional[float] = perf_counter()
+        else:
+            self.span = NOOP_SPAN
+            self.queued_at = None
 
     def arm(self) -> None:
         """Start the deadline clock — at submission, before the token."""
@@ -471,6 +496,14 @@ class _JobRun:
                 if pool is not None:
                     pool.release()
                 return
+            if op.queued_at is not None:
+                # Token-pool wait: submission → launch, including time
+                # queued behind a saturated/hung backend.
+                self.planner.obs.observe(
+                    "planner.token_wait",
+                    (perf_counter() - op.queued_at) * 1000.0,
+                    label=domain,
+                )
             try:
                 future = launch(driver)
             except BaseException as exc:
@@ -489,6 +522,10 @@ class _JobRun:
     def _op_finished(
         self, op: _Op, result: Any, exc: Optional[BaseException]
     ) -> None:
+        if exc is None:
+            op.span.finish()
+        else:
+            op.span.finish("error", error=str(exc))
         if op.kind == "prepare":
             if exc is None and isinstance(result, Reservation):
                 self.planner._record(
@@ -507,6 +544,10 @@ class _JobRun:
             self._unwind_done(op, exc)
 
     def _op_timed_out(self, op: _Op, exc: OperationTimeout) -> None:
+        # Deadline fired first: the span closes as an error *now*, on
+        # the timer thread — the op's eventual late completion routes
+        # to compensation and must not leave an in-flight span behind.
+        op.span.finish("error", error=str(exc))
         # The straggler is owned by the compensation path from here on;
         # the job's own unwind must not touch its reservation.
         with self._lock:
@@ -717,6 +758,11 @@ class BatchInstallPlanner:
             completion threads, so the hook must be thread-safe (the
             control-plane journal is); a raising hook is swallowed —
             the install's fate never depends on the audit trail.
+        obs: Control-plane observability sink (spans per southbound
+            op, token-wait histograms).  Defaults to the process-wide
+            :func:`~repro.obs.registry.default_observability` — the
+            shared no-op unless ``REPRO_OBS_ENABLED=1``; an
+            observability-enabled orchestrator passes its own.
     """
 
     def __init__(
@@ -727,6 +773,7 @@ class BatchInstallPlanner:
         on_rollback: Optional[RollbackHook] = None,
         operation_timeout_s: Optional[float] = None,
         on_record: Optional[Callable[[str, str, str, str], None]] = None,
+        obs: Any = None,
     ) -> None:
         if max_workers < 1:
             raise DriverError("planner", f"max_workers must be >= 1, got {max_workers}")
@@ -738,6 +785,7 @@ class BatchInstallPlanner:
         self.on_rollback = on_rollback
         self.operation_timeout_s = operation_timeout_s
         self.on_record = on_record
+        self.obs = obs if obs is not None else default_observability()
         #: Completed-batch counters (telemetry/debugging).
         self.batches_run = 0
         self.jobs_installed = 0

@@ -1,0 +1,106 @@
+"""Prometheus text exposition for the control-plane observability data.
+
+Two namespaces share one scrape (``GET /v1/admin/metrics``):
+
+- ``cp_*`` — the control plane's own histograms/counters/gauges
+  (this subsystem; wall-clock milliseconds, suffixed ``_ms``).
+- ``sim_*`` — the pre-existing *sim telemetry*
+  (:meth:`~repro.monitoring.metrics.MetricsRegistry.to_prometheus`:
+  per-slice demand/delivery time series, simulation-time stamped),
+  re-emitted under a prefix so the two cannot collide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+#: The standard Prometheus text-format content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _sanitize(name: str) -> str:
+    """Dotted metric name → Prometheus-legal name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(label: str, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = []
+    if label:
+        pairs.append(f'label="{_escape_label(label)}"')
+    for key, value in (extra or {}).items():
+        pairs.append(f'{key}="{_escape_label(value)}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(obs: Any, sim_metrics: Any = None) -> str:
+    """The full scrape body: ``cp_*`` control-plane metrics (empty when
+    observability is disabled) + the ``sim_*`` telemetry namespace."""
+    lines: List[str] = []
+    if getattr(obs, "enabled", False):
+        typed: set = set()
+
+        def declare(name: str, kind: str) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (metric, label), hist in sorted(obs.histograms().items()):
+            base = f"cp_{_sanitize(metric)}_ms"
+            declare(base, "histogram")
+            data = hist.to_dict()
+            for bound, cumulative in data["buckets"]:
+                lines.append(
+                    f"{base}_bucket{_labels(label, {'le': _fmt(bound)})} {cumulative}"
+                )
+            lines.append(f"{base}_sum{_labels(label)} {_fmt(data['sum_ms'])}")
+            lines.append(f"{base}_count{_labels(label)} {data['count']}")
+            max_name = f"{base}_max"
+            declare(max_name, "gauge")
+            lines.append(f"{max_name}{_labels(label)} {_fmt(data['max_ms'])}")
+        for (metric, label), value in sorted(obs.counters().items()):
+            name = f"cp_{_sanitize(metric)}_total"
+            declare(name, "counter")
+            lines.append(f"{name}{_labels(label)} {_fmt(value)}")
+        for (metric, label), value in sorted(obs.gauges().items()):
+            name = f"cp_{_sanitize(metric)}"
+            declare(name, "gauge")
+            lines.append(f"{name}{_labels(label)} {_fmt(value)}")
+        tracer = obs.status().get("tracer", {})
+        for key in ("spans_started", "spans_finished", "spans_dropped"):
+            name = f"cp_tracer_{key}_total"
+            declare(name, "counter")
+            lines.append(f"{name} {tracer.get(key, 0)}")
+    if sim_metrics is not None:
+        for line in sim_metrics.to_prometheus().splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                # `# TYPE name kind` / `# HELP name text`: the metric
+                # name (third token) gets the prefix, not the line.
+                parts = line.split(" ", 3)
+                if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                    parts[2] = f"sim_{parts[2]}"
+                    lines.append(" ".join(parts))
+                else:
+                    lines.append(line)
+            else:
+                lines.append(f"sim_{line}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]

@@ -43,7 +43,8 @@ import json
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.store.codec import json_default
 
@@ -168,6 +169,11 @@ class Journal:
             raise JournalError(f"fsync_every must be >= 0, got {fsync_every}")
         self.path = str(path)
         self.fsync_every = int(fsync_every)
+        #: Control-plane observability sink (bound by
+        #: :meth:`~repro.store.store.ControlPlaneStore.bind_obs`);
+        #: ``None`` keeps the write path exactly as before — the
+        #: timed branch is never entered.
+        self.obs: Optional[Any] = None
         self._lock = threading.Lock()
         self._closed = False
         self._unsynced = 0
@@ -220,28 +226,65 @@ class Journal:
         is dead, the write never landed" semantics the crash-recovery
         tests rely on.
         """
-        with self._lock:
-            if self._closed:
-                return 0
-            lsn = self._last_lsn + 1
-            record = JournalRecord(lsn=lsn, time=float(time), record_type=record_type, data=data)
-            self._handle.write(record.to_line() + "\n")
-            self._handle.flush()
-            self._unsynced += 1
-            if self.fsync_every and self._unsynced >= self.fsync_every:
-                os.fsync(self._handle.fileno())
-                self._unsynced = 0
-            self._last_lsn = lsn
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            # Instrumented twin of the plain path below: lock wait and
+            # hold (the journal lock is contended by planner completion
+            # threads *and* the orchestrator loop), plus fsync timing
+            # and group-commit batch size inside _append_locked.
+            requested = perf_counter()
+            with self._lock:
+                acquired = perf_counter()
+                lsn = self._append_locked(record_type, time, data, obs=obs)
+                done = perf_counter()
+            obs.observe("journal.lock.wait", (acquired - requested) * 1000.0)
+            obs.observe("journal.lock.hold", (done - acquired) * 1000.0)
+            obs.observe("journal.append", (done - requested) * 1000.0)
             return lsn
+        with self._lock:
+            return self._append_locked(record_type, time, data)
+
+    def _append_locked(
+        self,
+        record_type: str,
+        time: float,
+        data: Dict[str, Any],
+        obs: Optional[Any] = None,
+    ) -> int:
+        if self._closed:
+            return 0
+        lsn = self._last_lsn + 1
+        record = JournalRecord(lsn=lsn, time=float(time), record_type=record_type, data=data)
+        self._handle.write(record.to_line() + "\n")
+        self._handle.flush()
+        self._unsynced += 1
+        if self.fsync_every and self._unsynced >= self.fsync_every:
+            self._fsync_locked(obs)
+        self._last_lsn = lsn
+        return lsn
+
+    def _fsync_locked(self, obs: Optional[Any] = None) -> None:
+        """Group-commit fsync (call under ``_lock``)."""
+        if obs is not None:
+            batch = self._unsynced
+            started = perf_counter()
+            os.fsync(self._handle.fileno())
+            obs.observe("journal.fsync", (perf_counter() - started) * 1000.0)
+            obs.observe("journal.batch_records", float(batch))
+        else:
+            os.fsync(self._handle.fileno())
+        self._unsynced = 0
 
     def sync(self) -> None:
         """Force an fsync of everything appended so far."""
+        obs = self.obs
         with self._lock:
             if self._closed:
                 return
             self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._unsynced = 0
+            self._fsync_locked(
+                obs if obs is not None and obs.enabled and self._unsynced else None
+            )
 
     def close(self) -> None:
         """Stop accepting appends (idempotent); pending bytes are synced."""

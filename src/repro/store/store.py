@@ -76,6 +76,9 @@ class NullStore:
     def close(self) -> None:
         pass
 
+    def bind_obs(self, obs: Any) -> None:
+        pass
+
 
 class ControlPlaneStore:
     """Event-sourced durability for the slice control plane.
@@ -115,6 +118,15 @@ class ControlPlaneStore:
         # snapshot — reusing LSNs consumers already hold.
         self.journal.ensure_lsn_at_least(self._snapshot_lsn)
         self._lock = threading.Lock()
+        self.obs: Optional[Any] = None
+
+    def bind_obs(self, obs: Any) -> None:
+        """Attach a control-plane observability sink: journal append /
+        lock / fsync / batch-size histograms, checkpoint timing.  A
+        disabled (no-op) sink unbinds — the write path stays pristine."""
+        live = obs if (obs is not None and getattr(obs, "enabled", False)) else None
+        self.obs = live
+        self.journal.obs = live
 
     # ------------------------------------------------------------------
     # Journal passthrough
@@ -164,6 +176,13 @@ class ControlPlaneStore:
     def checkpoint(self, state: Dict[str, Any]) -> int:
         """Write a full-state snapshot at the current journal position
         and compact the journal up to it.  Returns the snapshot LSN."""
+        obs = self.obs
+        if obs is not None:
+            with obs.timed("store.checkpoint"):
+                return self._checkpoint(state)
+        return self._checkpoint(state)
+
+    def _checkpoint(self, state: Dict[str, Any]) -> int:
         with self._lock:
             self.journal.sync()
             lsn = self.journal.last_lsn

@@ -183,3 +183,103 @@ class TestQuotaDurability:
         # And the checkpoint carries it too.
         state = orchestrator.durable_state()
         assert state["quotas"]["tenant-a"]["max_active_slices"] == 2
+
+
+class TestAdminObservability:
+    """`GET /v1/admin/metrics` + `GET /v1/admin/traces`: the 32-slice
+    batch acceptance trace, the Prometheus scrape, and the cheap
+    disabled-mode answers."""
+
+    def _install_batch(self, api, orchestrator, n=32):
+        for i in range(n):
+            created = api.post(
+                "/v1/slices?mode=batch",
+                slice_body(throughput_mbps=2.0),
+                headers={"X-Tenant-Id": f"t{i % 4}"},
+            )
+            assert created.status == 202, created.body
+        orchestrator.sim.run_until(orchestrator.sim.now + 600.0)
+
+    def test_batch_trace_is_complete_with_correct_parentage(self, testbed):
+        orchestrator, _, api = build_stack(testbed, observability=True)
+        self._install_batch(api, orchestrator)
+        response = api.get("/v1/admin/traces?limit=20")
+        assert response.ok
+        assert response.body["enabled"] is True
+        traces = response.body["traces"]
+        assert traces
+        trace = max(traces, key=lambda t: t["span_count"])
+        spans = trace["spans"]
+        names = {s["name"] for s in spans}
+        # Every pipeline stage shows up in the batch's trace.
+        assert {
+            "install.batch", "install.job", "admission",
+            "placement", "driver.prepare", "driver.commit",
+        } <= names
+        # Exactly one root, and every other span's parent resolves
+        # within the trace — no orphans, whatever thread closed it.
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "install.batch"
+        ids = {s["span_id"] for s in spans}
+        assert all(
+            s["parent_id"] in ids for s in spans if s["parent_id"] is not None
+        )
+        # Every span settled (the batch outruns the 12-identity PLMN
+        # pool, so late jobs are *rejected* — their admission spans
+        # must close as errors carrying the rejection, not hang open).
+        assert all(s["status"] in ("ok", "error") for s in spans)
+        rejected = [s for s in spans if s["status"] == "error"]
+        assert all("PLMN" in (s["error"] or "") for s in rejected)
+        assert all(s["status"] == "ok" for s in spans if s["name"].startswith("driver."))
+        # Settled bookkeeping: nothing in flight, nothing dropped.
+        tracer = response.body["tracer"]
+        assert tracer["spans_started"] == tracer["spans_finished"]
+        assert tracer["spans_dropped"] == 0
+
+    def test_traces_slow_filter_and_limit(self, testbed):
+        orchestrator, _, api = build_stack(
+            testbed, observability=True, observability_slow_span_ms=0.0
+        )
+        self._install_batch(api, orchestrator, n=4)
+        slow = api.get("/v1/admin/traces?slow=true&limit=5")
+        assert slow.ok
+        assert slow.body["slow"] is True
+        assert slow.body["slow_threshold_ms"] == 0.0
+        assert 0 < len(slow.body["slow_spans"]) <= 5
+        # Slow entries carry ancestry for attribution.
+        assert all("ancestry" in e for e in slow.body["slow_spans"])
+
+    def test_metrics_scrape_is_prometheus_text(self, testbed):
+        orchestrator, _, api = build_stack(testbed, observability=True)
+        self._install_batch(api, orchestrator, n=8)
+        response = api.get("/v1/admin/metrics")
+        assert response.ok
+        assert response.content_type.startswith("text/plain")
+        assert response.text.endswith("\n")
+        text = response.text
+        # Control-plane namespace: per-stage histograms with buckets.
+        assert "# TYPE cp_admission_ms histogram" in text
+        assert 'cp_driver_commit_ms_bucket{label="ran",le="+Inf"}' in text
+        assert "cp_tracer_spans_finished_total" in text
+        # Sim-telemetry namespace rides along, prefixed.
+        assert "sim_" in text
+
+    def test_disabled_mode_answers_cheaply(self, testbed):
+        orchestrator, _, api = build_stack(testbed)  # observability off
+        self._install_batch(api, orchestrator, n=2)
+        traces = api.get("/v1/admin/traces")
+        assert traces.ok
+        assert traces.body == {
+            "enabled": False, "slow": False, "count": 0,
+            "traces": [], "slow_spans": [],
+        }
+        metrics = api.get("/v1/admin/metrics")
+        assert metrics.ok
+        assert "cp_" not in metrics.text
+        assert "sim_" in metrics.text  # sim telemetry is always on
+
+    def test_bad_query_parameters_are_400s(self, testbed):
+        _, _, api = build_stack(testbed, observability=True)
+        assert api.get("/v1/admin/traces?limit=0").status == 400
+        assert api.get("/v1/admin/traces?limit=bogus").status == 400
+        assert api.get("/v1/admin/traces?slow=maybe").status == 400

@@ -612,3 +612,126 @@ class TestDurabilityHooks:
         }) in late
         # Draining clears the buffer.
         assert planner.drain_events() == []
+
+
+class TestObservability:
+    """Span propagation through the async engine: the job's carried
+    SpanContext must pin every southbound op span to the right parent
+    no matter which completion/timer thread closes it, and a timed-out
+    op must close its span as an error rather than leak it."""
+
+    def _obs(self):
+        from repro.obs.registry import ControlPlaneObservability
+
+        return ControlPlaneObservability()
+
+    def _registry(self) -> DriverRegistry:
+        return DriverRegistry(
+            [
+                MockDriver(
+                    domain=d,
+                    capacity_mbps=10_000.0,
+                    max_concurrent_installs=8,
+                    prepare_latency_s=0.003,
+                    commit_latency_s=0.001,
+                )
+                for d in DOMAINS
+            ]
+        )
+
+    def test_op_spans_parent_to_their_job_across_completion_threads(self):
+        obs = self._obs()
+        planner = BatchInstallPlanner(self._registry(), max_workers=8, obs=obs)
+        root = obs.span("install.batch")
+        job_spans = {}
+        jobs = []
+        for i in range(8):
+            slice_id = f"s{i}"
+            job_span = obs.span("install.job", parent=root.context)
+            job_spans[slice_id] = job_span
+            jobs.append(
+                InstallJob(
+                    slice_id=slice_id,
+                    attempts=[spec_map(slice_id)],
+                    span_context=job_span.context,
+                )
+            )
+        outcomes = planner.install(jobs)
+        assert all(o.ok for o in outcomes)
+        for span in job_spans.values():
+            span.finish()
+        root.finish()
+
+        (trace,) = obs.traces()
+        job_ids = {
+            s["span_id"]: None for s in trace["spans"] if s["name"] == "install.job"
+        }
+        ops = [s for s in trace["spans"] if s["name"].startswith("driver.")]
+        # Every job ran prepare+commit in all three domains, and every
+        # op span — closed on whichever worker thread settled it —
+        # parents to one of the job spans, never to the root directly.
+        assert len(ops) == 8 * len(DOMAINS) * 2
+        assert all(op["parent_id"] in job_ids for op in ops)
+        assert all(op["status"] == "ok" for op in ops)
+        assert obs.tracer.active_span_count == 0
+
+    def test_op_spans_feed_per_domain_histograms(self):
+        obs = self._obs()
+        planner = BatchInstallPlanner(self._registry(), max_workers=8, obs=obs)
+        outcomes = planner.install([job_for(f"s{i}") for i in range(4)])
+        assert all(o.ok for o in outcomes)
+        for domain in DOMAINS:
+            prepare = obs.histogram("driver.prepare", domain)
+            assert prepare.count == 4
+            # The emulated southbound latency is visible in the data.
+            assert prepare.max_ms >= 1.0
+        # One token wait per southbound op (prepare + commit).
+        assert obs.histogram("planner.token_wait", "alpha").count == 8
+
+    def test_timed_out_op_span_closes_as_error_and_does_not_leak(self):
+        obs = self._obs()
+        registry = self._registry()
+        stalled = registry.get("beta")
+        stalled.stall()
+        planner = BatchInstallPlanner(
+            registry, max_workers=8, operation_timeout_s=0.15, obs=obs
+        )
+        root = obs.span("install.batch")
+        job_span = obs.span("install.job", parent=root.context)
+        job = InstallJob(
+            slice_id="s-hang",
+            attempts=[spec_map("s-hang")],
+            span_context=job_span.context,
+        )
+        try:
+            (outcome,) = planner.install([job])
+            assert not outcome.ok
+            job_span.finish("error", error=str(outcome.error))
+            root.finish()
+            # The deadline timer closed the hung op's span as an error
+            # *at the deadline* — no span waits for the backend.
+            (trace,) = obs.traces()
+            errored = [
+                s
+                for s in trace["spans"]
+                if s["name"].startswith("driver.") and s["status"] == "error"
+            ]
+            assert errored, "timed-out operation left no errored span"
+            assert any("timed out" in (s["error"] or "") for s in errored)
+            assert obs.tracer.active_span_count == 0
+        finally:
+            stalled.release_stall()
+        # Late completion is compensated in the background; the span
+        # bookkeeping must stay settled (finish is idempotent).
+        deadline = time.time() + 5.0
+        while time.time() < deadline and planner.ops_compensated == 0:
+            time.sleep(0.01)
+        assert obs.tracer.active_span_count == 0
+
+    def test_disabled_observability_keeps_engine_behavior(self):
+        from repro.obs.registry import NOOP_OBS
+
+        planner = BatchInstallPlanner(self._registry(), max_workers=8, obs=NOOP_OBS)
+        outcomes = planner.install([job_for(f"s{i}") for i in range(4)])
+        assert all(o.ok for o in outcomes)
+        assert NOOP_OBS.traces() == []

@@ -328,3 +328,58 @@ class TestConcurrentChurn:
                 continue
             for lid in network_slice.allocation.transport.path.link_ids:
                 assert testbed.transport.topology.link(lid).up
+
+
+# ----------------------------------------------------------------------
+# Control-plane observability under soak load
+# ----------------------------------------------------------------------
+
+
+class TestSoakObservability:
+    """With ``REPRO_OBS_ENABLED=1`` (how the nightly soak runs), the
+    churn scenario must leave the tracer settled — every span closed,
+    nothing leaked across thousands of planner-thread hops — and the
+    run's metrics/slow-trace snapshot is exported as a CI artifact
+    when ``SOAK_OBS_DIR`` points somewhere."""
+
+    def test_tracer_settled_after_churn(self, churn_run):
+        _, orch, _, _ = churn_run
+        if not orch.obs.enabled:
+            pytest.skip("observability disabled (set REPRO_OBS_ENABLED=1)")
+        status = orch.obs.tracer.status()
+        assert status["spans_started"] == status["spans_finished"]
+        assert orch.obs.tracer.active_span_count == 0
+        # The soak actually exercised the pipeline stages.
+        summary = orch.obs.stage_summary(["admission", "driver.commit"])
+        assert summary["admission"]["count"] > 0
+        assert summary["driver.commit"]["count"] > 0
+
+    def test_artifacts_dumped_for_ci(self, churn_run):
+        out_dir = os.environ.get("SOAK_OBS_DIR")
+        if not out_dir:
+            pytest.skip("SOAK_OBS_DIR not set")
+        _, orch, _, _ = churn_run
+        if not orch.obs.enabled:
+            pytest.skip("observability disabled (set REPRO_OBS_ENABLED=1)")
+        import json as _json
+
+        from repro.obs.export import render_prometheus
+
+        os.makedirs(out_dir, exist_ok=True)
+        metrics_path = os.path.join(out_dir, "metrics.prom")
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(orch.obs, orch.metrics))
+        traces_path = os.path.join(out_dir, "slow_traces.json")
+        with open(traces_path, "w", encoding="utf-8") as fh:
+            _json.dump(
+                {
+                    "tracer": orch.obs.tracer.status(),
+                    "slow_spans": orch.obs.slow_spans(),
+                    "traces": orch.obs.traces(limit=10),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        assert os.path.getsize(metrics_path) > 0
+        assert os.path.getsize(traces_path) > 0

@@ -113,6 +113,93 @@ def run_scale(n_enbs: int, seed: int = 5, horizon_s: float = HORIZON_S):
     return result, elapsed
 
 
+#: Requests driven per shard by the sharded-mode measurement (D8e).
+SHARDED_REQUESTS = int(os.environ.get("D8_SHARDED_REQUESTS", "16"))
+
+
+def run_sharded_point(
+    shards: int, n_enbs_per_shard: int, requests_per_shard: int = SHARDED_REQUESTS
+) -> dict:
+    """Per-shard control-plane cost in sharded mode: drive synchronous
+    slice creates through the :class:`~repro.cluster.router.ShardRouter`
+    (tenant-affine path — admission + placement + install + the router
+    hop) and time each shard's batch separately.  Memory-only cluster:
+    the point measures decision cost, not journal fsyncs.
+
+    Returns ``{shard_id: {"requests", "admitted", "wall_s",
+    "ms_per_request"}}``.
+    """
+    from repro.cluster import ClusterConfig, ControlPlaneCluster
+
+    cluster = ControlPlaneCluster(
+        ClusterConfig(
+            shards=shards,
+            n_enbs_per_shard=n_enbs_per_shard,
+            max_plmns_per_enb=12,
+            plmn_pool_size=6 * n_enbs_per_shard,
+        )
+    )
+    # One tenant per shard, deterministic (the ring is seedless).
+    owners: dict = {}
+    for i in range(1024):
+        owners.setdefault(cluster.ring.shard_for(f"tenant-{i}"), f"tenant-{i}")
+        if len(owners) == shards:
+            break
+    points = {}
+    for shard_id in sorted(owners):
+        tenant = owners[shard_id]
+        body = {
+            "service_type": "embb",
+            "throughput_mbps": 2.0,
+            "max_latency_ms": 50.0,
+            "duration_s": 3_600.0,
+            "price": 100.0,
+            "penalty_rate": 1.0,
+            "tenant_id": tenant,
+        }
+        headers = {"x-tenant-id": tenant}
+        admitted = 0
+        start = time.perf_counter()
+        for _ in range(requests_per_shard):
+            response = cluster.router.post("/v1/slices", body=body, headers=headers)
+            admitted += response.status == 201
+        wall = time.perf_counter() - start
+        points[shard_id] = {
+            "requests": requests_per_shard,
+            "admitted": admitted,
+            "wall_s": round(wall, 4),
+            "ms_per_request": round(1_000.0 * wall / max(1, requests_per_shard), 4),
+        }
+    cluster.close()
+    return points
+
+
+def test_d8e_sharded_per_request_cost(benchmark):
+    """D8e — the sharded router path keeps per-request cost in the same
+    regime as a single control plane (the router hop + merge layer must
+    not dominate admission + install)."""
+    points = run_sharded_point(shards=2, n_enbs_per_shard=4)
+    emit_table(
+        "D8e",
+        f"sharded-mode per-request cost (2 shards, 4 eNBs each, "
+        f"{SHARDED_REQUESTS} requests per shard)",
+        ["shard", "requests", "admitted", "wall_s", "ms_per_request"],
+        [
+            [k, p["requests"], p["admitted"], p["wall_s"], p["ms_per_request"]]
+            for k, p in sorted(points.items())
+        ],
+    )
+    for shard_id, point in points.items():
+        assert point["admitted"] == point["requests"], (
+            f"shard {shard_id}: {point['admitted']}/{point['requests']} admitted"
+        )
+    benchmark.pedantic(
+        lambda: run_sharded_point(shards=2, n_enbs_per_shard=4),
+        rounds=1,
+        iterations=1,
+    )
+
+
 def test_d8_scale_sweep(benchmark):
     rows = []
     per_request_cost = {}

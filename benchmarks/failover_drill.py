@@ -1,0 +1,253 @@
+"""The cluster failover drill, runnable standalone or from the CI gate.
+
+SIGKILL a shard leader mid-16-job-batch (four southbound commits parked
+behind a chaos stall), let the warm standby detect the stale lease,
+promote through the RecoveryManager reconciliation, and verify the
+acceptance invariants:
+
+- **zero lost** — every slice the southbound holds COMMITTED is
+  re-adopted by the promoted control plane,
+- **zero leaked** — every domain's reservations are exactly the live
+  slices, all COMMITTED, and ``held == Σ COMMITTED`` exactly,
+- the untouched shard serves through the whole outage,
+- the measured ``recovery_s`` (lease takeover → reconciled) and the
+  promoted standby's recovery trace are published.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/failover_drill.py \
+        [--out DRILL.json] [--trace-dir failover-trace]
+
+``--trace-dir`` writes the promoted standby's recovery trace (the
+promotion report, the per-shard journal status, and the post-failover
+metrics scrape) as separate artifact files for the nightly upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+MBPS = 5.0
+FIRST_WAVE = 4
+BATCH = 16
+STALLED = 4
+KILLED = 0
+LEASE_TIMEOUT_S = 0.05
+
+
+def _chaos_testbed():
+    from repro.drivers.mock import MockDriver
+    from repro.experiments.testbed import TestbedConfig, build_testbed
+
+    testbed = build_testbed(
+        TestbedConfig(n_enbs=4, max_plmns_per_enb=12, plmn_pool_size=40)
+    )
+    testbed.registry.register(
+        MockDriver("firewall", capacity_mbps=100_000.0, max_concurrent_installs=8)
+    )
+    return testbed
+
+
+def run_failover_drill(failures: list, root: str | None = None) -> dict:
+    """Run the drill; appends invariant violations to ``failures`` and
+    returns the artifact payload (always, so a failed drill is still
+    diagnosable from the numbers)."""
+    import threading
+
+    from repro.cluster import ClusterConfig, ControlPlaneCluster
+    from repro.drivers.base import ReservationState
+    from repro.traffic.patterns import ConstantProfile
+    from tests.conftest import make_request
+
+    root = root or tempfile.mkdtemp(prefix="failover-drill-")
+    cluster = ControlPlaneCluster(
+        ClusterConfig(
+            shards=2,
+            durability_root=os.path.join(root, "store"),
+            lease_timeout_s=LEASE_TIMEOUT_S,
+            orchestrator={"monitoring_epoch_s": 60.0},
+        ),
+        testbeds=[_chaos_testbed(), _chaos_testbed()],
+    )
+
+    # One tenant per shard, deterministic (the ring is seedless).
+    owners = {}
+    for i in range(256):
+        owners.setdefault(cluster.ring.shard_for(f"tenant-{i}"), f"tenant-{i}")
+        if len(owners) == 2:
+            break
+    victim_tenant, other_tenant = owners[KILLED], owners[1 - KILLED]
+    leader = cluster.shard(KILLED)
+    firewall = leader.testbed.registry.get("firewall")
+
+    def body(tenant):
+        return {
+            "service_type": "embb",
+            "throughput_mbps": MBPS,
+            "max_latency_ms": 50.0,
+            "duration_s": 3_600.0,
+            "price": 100.0,
+            "penalty_rate": 1.0,
+            "tenant_id": tenant,
+        }
+
+    # 1. acknowledged churn + a warm standby tailing the WAL.
+    for _ in range(FIRST_WAVE):
+        response = cluster.router.post(
+            "/v1/slices", body=body(victim_tenant),
+            headers={"x-tenant-id": victim_tenant},
+        )
+        if response.status != 201:
+            failures.append(f"drill: first-wave create -> {response.status}")
+    standby = cluster.standby_for(KILLED)
+    standby.poll()
+
+    # 2. the 16-job batch, 4 commits stalled mid-flight.
+    batch = [
+        (make_request(throughput_mbps=MBPS, tenant=victim_tenant),
+         ConstantProfile(MBPS))
+        for _ in range(BATCH)
+    ]
+    firewall.stall(STALLED, kinds=("commit",))
+    decisions = []
+    worker = threading.Thread(
+        target=lambda: decisions.extend(
+            leader.orchestrator.install_admitted_batch(batch)
+        ),
+        daemon=True,
+    )
+    worker.start()
+    deadline = time.monotonic() + 10.0
+    while firewall.stalled_ops < STALLED and time.monotonic() < deadline:
+        time.sleep(0.005)
+    if firewall.stalled_ops < STALLED:
+        failures.append(
+            f"drill: only {firewall.stalled_ops}/{STALLED} commits stalled"
+        )
+
+    # 3. SIGKILL the leader; 4. the southbound finishes in flight.
+    cluster.kill_leader(KILLED)
+    firewall.release_stall()
+    worker.join(timeout=30.0)
+    if worker.is_alive() or not all(d.admitted for d in decisions):
+        failures.append("drill: the mid-flight batch did not settle admitted")
+
+    # The other shard serves through the outage.
+    survivor = cluster.router.post(
+        "/v1/slices", body=body(other_tenant),
+        headers={"x-tenant-id": other_tenant},
+    )
+    if survivor.status != 201:
+        failures.append(f"drill: surviving shard create -> {survivor.status}")
+
+    # 5. the standby notices the stale lease and promotes.
+    time.sleep(LEASE_TIMEOUT_S * 3)
+    promotion = standby.tick()
+    if promotion is None:
+        failures.append("drill: standby never promoted")
+        cluster.close()
+        return {"promoted": False}
+    cluster.adopt_promotion(KILLED, promotion)
+
+    report = promotion.report
+    expected = FIRST_WAVE + BATCH
+    if report.slices_lost or report.slices_adopted != expected:
+        failures.append(
+            f"drill: adopted {report.slices_adopted}/{expected}, "
+            f"lost {report.slices_lost} ({report.lost_slice_ids})"
+        )
+    promoted = cluster.shard(KILLED)
+    live_ids = {s.slice_id for s in promoted.orchestrator.live_slices()}
+    committed = sum(
+        r.spec.throughput_mbps * r.spec.effective_fraction
+        for r in firewall.list_reservations()
+        if r.state is ReservationState.COMMITTED
+    )
+    for driver in leader.testbed.registry.drivers():
+        reservations = driver.list_reservations()
+        leaked = {r.slice_id for r in reservations} - live_ids
+        dirty = [
+            r for r in reservations
+            if r.state is not ReservationState.COMMITTED
+        ]
+        if leaked or dirty:
+            failures.append(
+                f"drill: domain {driver.domain} leaked={sorted(leaked)} "
+                f"non-committed={len(dirty)}"
+            )
+    if abs(firewall.held_mbps - expected * MBPS) > 1e-6:
+        failures.append(
+            f"drill: held {firewall.held_mbps} != {expected * MBPS} "
+            "(held != sum COMMITTED)"
+        )
+    if abs(firewall.held_mbps - committed) > 1e-6:
+        failures.append(
+            f"drill: held {firewall.held_mbps} != committed {committed}"
+        )
+
+    payload = {
+        "promoted": True,
+        "shards": 2,
+        "killed_shard": KILLED,
+        "first_wave": FIRST_WAVE,
+        "batch": BATCH,
+        "stalled_commits": STALLED,
+        "recovery_s": round(promotion.recovery_s, 4),
+        "replay_lag_records": promotion.replay_lag_records,
+        "replay_floor_lsn": promotion.replay_floor_lsn,
+        "lease_epoch": promotion.lease.epoch,
+        "slices_adopted": report.slices_adopted,
+        "slices_lost": report.slices_lost,
+        "orphans_compensated": report.orphans_compensated,
+        "held_mbps": firewall.held_mbps,
+        "promotion": promotion.to_dict(),
+        "journal_status": {
+            str(k): cluster.shard(k).store.status() for k in owners
+        },
+    }
+    cluster.close()
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="DRILL.json", help="summary path")
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="directory for the promoted standby's recovery-trace artifacts",
+    )
+    args = parser.parse_args(argv)
+    failures: list = []
+    payload = run_failover_drill(failures)
+    payload["failures"] = failures
+    payload["ok"] = not failures
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        with open(os.path.join(args.trace_dir, "promotion.json"), "w") as handle:
+            json.dump(payload.get("promotion", {}), handle, indent=2, sort_keys=True)
+        with open(os.path.join(args.trace_dir, "drill.json"), "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if failures:
+        print("\nFAILOVER DRILL FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nfailover drill ok: recovery {payload['recovery_s']}s, "
+        f"replay lag {payload['replay_lag_records']} records, "
+        f"{payload['slices_adopted']} adopted / {payload['slices_lost']} lost"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Sharded control plane: tenant-partitioned orchestrator workers, a
+router in front of the v1 API, and journal-tailing warm standbys.
+
+The single-process orchestrator stops scaling once one lock domain and
+one WAL serialize every tenant (the D8 sweep shows per-request cost
+rising super-linearly with fleet size).  This package splits the
+control plane the way the durable store already anticipated:
+
+- :mod:`repro.cluster.ring` — consistent-hash tenant → shard mapping,
+  deterministic across processes and stable under shard-count change.
+- :mod:`repro.cluster.shard` — one orchestrator worker per shard, each
+  journaling to its own ``shard-<id>/`` namespace of the store root,
+  plus :class:`~repro.cluster.shard.ControlPlaneCluster`, the builder.
+- :mod:`repro.cluster.router` — :class:`~repro.cluster.router.
+  ShardRouter`: tenant-affine calls routed to one shard, collection /
+  metrics / admin calls fanned out and merged (pagination re-cut,
+  durable event cursors merged as a per-shard LSN vector).
+- :mod:`repro.cluster.lease` — the leader lease file + heartbeat
+  protocol a standby watches for leader death.
+- :mod:`repro.cluster.standby` — :class:`~repro.cluster.standby.
+  WarmStandby`: tails the leader's WAL with bounded lag and promotes
+  itself through the existing RecoveryManager reconciliation when the
+  lease goes stale.
+"""
+
+from repro.cluster.lease import Lease, LeaseState
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ShardRouter, VectorCursor
+from repro.cluster.shard import ClusterConfig, ControlPlaneCluster, ShardWorker
+from repro.cluster.standby import PromotionReport, WarmStandby
+
+__all__ = [
+    "ClusterConfig",
+    "ControlPlaneCluster",
+    "HashRing",
+    "Lease",
+    "LeaseState",
+    "PromotionReport",
+    "ShardRouter",
+    "ShardWorker",
+    "VectorCursor",
+    "WarmStandby",
+]

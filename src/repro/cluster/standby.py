@@ -1,0 +1,218 @@
+"""Journal-tailing warm standby with lease-watch promotion.
+
+The standby is the survivability half of the sharded control plane: a
+second worker that follows one shard's write-ahead journal *as it is
+written* — folding each record into a live
+:class:`~repro.store.codec.ReplayState` image, so its lag behind the
+leader is bounded by its polling cadence, not by journal size — and
+watches the shard's :class:`~repro.cluster.lease.Lease` heartbeat.
+
+When the heartbeat goes stale (leader SIGKILLed, wedged, partitioned
+away), :meth:`WarmStandby.promote`:
+
+1. takes the lease with a bumped epoch (fencing the old leader if it
+   was merely paused: its next heartbeat fails and it closes its own
+   store),
+2. rebuilds a fresh orchestrator + service over the shard's
+   *surviving* southbound and its reopened store, and
+3. runs the existing :class:`~repro.store.recovery.RecoveryManager`
+   reconciliation — the same matrix a restart uses: re-adopt
+   fully-COMMITTED slices, compensate orphans, re-enqueue admissions,
+   rebase bookings, restore quotas — finishing with a checkpoint that
+   becomes the new replay floor, past which the durable event feed
+   resumes.
+
+The pre-promotion tailing is what makes the standby *warm*: at
+promotion time it has already folded (nearly) the whole journal, so
+recovery replays only the records that landed since its last poll.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.api.rest import RestApi
+from repro.api.v1 import build_v1_api
+from repro.cluster.lease import Lease
+from repro.store.codec import ReplayState
+from repro.store.journal import _read_records
+from repro.store.snapshot import SnapshotStore
+from repro.store.store import shard_directory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.service import SliceService
+    from repro.core.orchestrator import Orchestrator
+    from repro.store.recovery import RecoveryReport
+
+
+class StandbyError(RuntimeError):
+    """Raised on standby misuse (promoting over a live leader, ...)."""
+
+
+@dataclass
+class PromotionReport:
+    """Everything a completed promotion produced."""
+
+    shard_id: int
+    recovery_s: float  # wall clock, lease takeover -> reconciled
+    replay_lag_records: int  # journal records recovery replayed that
+    #                          the standby had not yet tailed
+    report: "RecoveryReport"  # the RecoveryManager reconciliation
+    orchestrator: "Orchestrator"
+    service: "SliceService"
+    api: RestApi
+    lease: Lease
+    replay_floor_lsn: int = 0  # post-promotion durable-cursor floor
+    trace: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe image (the failover drill's artifact payload)."""
+        return {
+            "shard_id": self.shard_id,
+            "recovery_s": self.recovery_s,
+            "replay_lag_records": self.replay_lag_records,
+            "replay_floor_lsn": self.replay_floor_lsn,
+            "lease_epoch": self.lease.epoch,
+            "recovery": self.report.to_dict(),
+            "trace": dict(self.trace),
+        }
+
+
+class WarmStandby:
+    """Tails one shard's WAL; promotes itself when the lease goes stale.
+
+    Args:
+        shard_id: The shard being shadowed.
+        store_root: The cluster's durability root (the standby resolves
+            the same ``shard-<id>/`` namespace the leader journals to).
+        rebuild: Factory returning a *fresh* ``(orchestrator, service)``
+            wired to the shard's surviving southbound and a reopened
+            store — the "new process" promotion boots.  Supplied by
+            :meth:`~repro.cluster.shard.ControlPlaneCluster.standby_for`.
+        lease_timeout_s: Heartbeat staleness that reads as leader death.
+        owner: Lease identity of this standby.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        store_root: str,
+        rebuild: Callable[[], Tuple["Orchestrator", "SliceService"]],
+        lease_timeout_s: float = 5.0,
+        owner: Optional[str] = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.directory = shard_directory(store_root, self.shard_id)
+        self._journal_path = os.path.join(self.directory, "journal.jsonl")
+        self._snapshots = SnapshotStore(self.directory)
+        self._rebuild = rebuild
+        self.lease = Lease(
+            os.path.join(self.directory, Lease.FILENAME),
+            owner=owner or f"shard-{self.shard_id}-standby",
+            timeout_s=lease_timeout_s,
+        )
+        self.state = ReplayState()
+        self.applied_lsn = 0
+        self.polls = 0
+        self.promoted: Optional[PromotionReport] = None
+
+    # ------------------------------------------------------------------
+    # Tailing
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Fold everything the leader journaled past our position;
+        returns the number of records applied.  After a leader
+        checkpoint compacted the journal, the standby jumps to the
+        snapshot (its pre-compaction fold reached at least that LSN
+        anyway — LSNs are monotonic across compactions)."""
+        applied = 0
+        loaded = self._snapshots.load_latest()
+        if loaded is not None and loaded[1] > self.applied_lsn:
+            snapshot, lsn = loaded
+            self.state = ReplayState.from_dict(snapshot)
+            applied += 1
+            self.applied_lsn = lsn
+        try:
+            records = _read_records(self._journal_path, after_lsn=self.applied_lsn)
+        except FileNotFoundError:
+            records = []
+        for record in records:
+            self.state.apply(record)
+            self.applied_lsn = record.lsn
+            applied += 1
+        self.polls += 1
+        return applied
+
+    def lag_records(self) -> int:
+        """Records the leader has journaled that we have not folded —
+        the standby's replication lag, bounded by its polling cadence."""
+        try:
+            records = _read_records(self._journal_path, after_lsn=self.applied_lsn)
+        except FileNotFoundError:
+            return 0
+        return len(records)
+
+    def leader_alive(self) -> bool:
+        """Whether the lease heartbeat is still fresh."""
+        return not self.lease.is_stale()
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def tick(self) -> Optional[PromotionReport]:
+        """One watch cycle: tail the journal, and if the leader's
+        heartbeat has gone stale, promote.  Returns the promotion
+        report when a promotion happened, else None."""
+        self.poll()
+        if self.leader_alive():
+            return None
+        return self.promote()
+
+    def promote(self, force: bool = False) -> PromotionReport:
+        """Take over the shard (see the module docstring for the
+        protocol).  ``force`` skips the staleness check — drills use it
+        to exercise fencing of a paused-but-alive leader.
+
+        Raises:
+            StandbyError: When the leader's lease is still fresh and
+                ``force`` is not set.
+        """
+        if self.promoted is not None:
+            return self.promoted
+        started = _time.monotonic()
+        pre_promotion_lsn = self.applied_lsn
+        replay_lag = self.lag_records()  # before recovery appends more
+        if not self.lease.acquire(force=force):
+            raise StandbyError(
+                f"shard {self.shard_id} leader lease is still fresh; "
+                "refusing to split-brain (use force=True to fence it)"
+            )
+        orchestrator, service = self._rebuild()
+        orchestrator.attach_lease(self.lease)
+        from repro.store.recovery import RecoveryManager
+
+        report = RecoveryManager(orchestrator, service=service).restore()
+        recovery_s = _time.monotonic() - started
+        self.promoted = PromotionReport(
+            shard_id=self.shard_id,
+            recovery_s=recovery_s,
+            replay_lag_records=replay_lag,
+            report=report,
+            orchestrator=orchestrator,
+            service=service,
+            api=build_v1_api(service),
+            lease=self.lease,
+            replay_floor_lsn=orchestrator.store.snapshot_lsn,
+            trace={
+                "standby_polls": self.polls,
+                "standby_applied_lsn": pre_promotion_lsn,
+                "state_digest_at_takeover": self.state.digest(),
+            },
+        )
+        return self.promoted
+
+
+__all__ = ["PromotionReport", "StandbyError", "WarmStandby"]

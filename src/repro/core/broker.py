@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.core.admission import AdmissionDecision, AdmissionPolicy, KnapsackPolicy
 from repro.core.orchestrator import Orchestrator
 from repro.core.slices import SliceRequest
+from repro.store.codec import request_to_dict
 from repro.traffic.patterns import TrafficProfile
 
 
@@ -69,6 +70,19 @@ class SliceBroker:
         self._flush_armed = False
         self.windows_flushed = 0
         self.decisions: List[AdmissionDecision] = []
+        # Durable windows: queued-but-undecided requests are journaled
+        # (``broker.enqueued`` / ``broker.decided``) and carried in
+        # every checkpoint, so a crash mid-window no longer silently
+        # drops them — recovery re-offers the survivors through online
+        # admission (see RecoveryManager._requeue_broker_windows).
+        orchestrator.durable_sections["broker_pending"] = self._pending_state
+
+    def _pending_state(self) -> dict:
+        """Checkpoint section: the current window's undecided requests."""
+        return {
+            pending.request.request_id: request_to_dict(pending.request)
+            for pending in self._queue
+        }
 
     @property
     def pending(self) -> int:
@@ -90,6 +104,14 @@ class SliceBroker:
         resolve its async operation resources).  Returns the request id
         so callers can correlate the eventual decision.
         """
+        # Write-ahead before the request is visible in the window: an
+        # acknowledged enqueue must survive a crash of the process.
+        self.orchestrator.store.append(
+            "broker.enqueued",
+            time=self.orchestrator.sim.now,
+            request=request_to_dict(request),
+            window_s=self.window_s,
+        )
         self._queue.append(
             PendingRequest(
                 request=request,
@@ -175,6 +197,18 @@ class SliceBroker:
             )
             for (index, _), outcome in zip(winners, installed):
                 outcomes[index] = outcome
+        # The window's durable claim on each request ends with its
+        # decision (the install/reject records above already released
+        # winners and losers — this is the explicit audit record the
+        # replay fold keys on for requests with no lifecycle record yet).
+        for pending, outcome in zip(batch, outcomes):
+            self.orchestrator.store.append(
+                "broker.decided",
+                time=now,
+                request_id=pending.request.request_id,
+                admitted=bool(outcome.admitted) if outcome is not None else False,
+                reason=getattr(outcome, "reason", None),
+            )
         for pending, outcome in zip(batch, outcomes):
             if pending.on_decision is not None:
                 pending.on_decision(outcome)

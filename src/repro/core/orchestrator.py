@@ -153,6 +153,13 @@ class OrchestratorConfig:
             appended records (every append is still flushed to the OS
             immediately).  ``1`` = fully synchronous, ``0`` = never
             fsync.
+        shard_id: Position of this orchestrator in a sharded control
+            plane (:mod:`repro.cluster`).  When set together with
+            ``durability_dir``, the store namespaces itself under
+            ``<durability_dir>/shard-<id>/`` so every shard owns its
+            own journal + snapshot family (and a warm standby can tail
+            exactly one shard's WAL).  ``None`` (the default) keeps the
+            single-process layout.
         observability: Switch for the control-plane observability
             subsystem (:mod:`repro.obs`): tracing spans across
             admission → placement → per-domain prepare/commit →
@@ -185,6 +192,7 @@ class OrchestratorConfig:
     durability_dir: Optional[str] = None
     checkpoint_every_records: int = 512
     journal_fsync_every: int = 32
+    shard_id: Optional[int] = None
     observability: bool = field(
         default_factory=lambda: os.environ.get("REPRO_OBS_ENABLED", "") == "1"
     )
@@ -271,7 +279,14 @@ class Orchestrator:
             self.config.durability_dir,
             fsync_every=self.config.journal_fsync_every,
             checkpoint_every=self.config.checkpoint_every_records,
+            shard_id=self.config.shard_id,
         )
+        #: Leader lease of a sharded deployment (duck-typed — anything
+        #: with ``heartbeat() -> bool``; see :mod:`repro.cluster.lease`).
+        #: Refreshed every monitoring epoch; a failed refresh means a
+        #: standby promoted itself over us, and we fence (stop durable
+        #: writes) instead of split-braining the shard's WAL.
+        self.lease: Optional[Any] = None
         bind_obs = getattr(self.store, "bind_obs", None)
         if bind_obs is not None:  # duck-typed store stand-ins may lack it
             bind_obs(self.obs)
@@ -334,6 +349,13 @@ class Orchestrator:
     def start(self) -> None:
         """Begin the periodic monitoring loop."""
         self._monitor_process.start()
+
+    def attach_lease(self, lease: Any) -> None:
+        """Adopt a leader lease (sharded deployments): the monitoring
+        loop refreshes it every epoch and fences this process — closes
+        the durable store, dropping all further writes — the moment the
+        refresh fails because another worker took the shard over."""
+        self.lease = lease
 
     def stop(self) -> None:
         """Halt the monitoring loop."""
@@ -1721,6 +1743,15 @@ class Orchestrator:
             obs.gauge_set("queue.stuck_releases", float(len(self._stuck_releases)))
         self._epoch_counter += 1
         now = self.sim.now
+        # Leader lease first: journaling anything after losing the
+        # shard would interleave a deposed leader's records with the
+        # promoted standby's WAL.
+        if self.lease is not None and not self.lease.heartbeat():
+            self.store.close()  # fenced: same semantics as a crash
+            self.events.emit(
+                now, "lease.fenced", shard_id=self.config.shard_id
+            )
+            self.lease = None
         # Durable heartbeat: recovery rebases lifecycle clocks against
         # the newest journaled time, so an idle control plane must
         # still bound its crash-time estimate to one epoch.

@@ -75,7 +75,18 @@ class PlmnPool:
     def __init__(self, mcc: str = "001", size: int = 6, first_mnc: int = 1) -> None:
         if size <= 0:
             raise SliceError(f"pool size must be positive, got {size}")
-        self._free = [PLMN(mcc, f"{first_mnc + i:02d}") for i in range(size)]
+        if not (len(mcc) == 3 and mcc.isdigit()):
+            raise SliceError(f"MCC must be 3 digits, got {mcc!r}")
+        # One MCC carries at most 1000 MNCs (00-999); a fleet-scale
+        # pool (the 256-eNB sweep needs 6 * 256 identities) rolls the
+        # overflow into consecutive test-range MCCs, exactly how a
+        # real operator exhausting an MCC's MNC space provisions more.
+        base_mcc = int(mcc)
+        self._free = []
+        for i in range(size):
+            ordinal = first_mnc + i
+            mcc_i = f"{(base_mcc + ordinal // 1000) % 1000:03d}"
+            self._free.append(PLMN(mcc_i, f"{ordinal % 1000:02d}"))
         self._allocated: Dict[str, PLMN] = {}
 
     @property

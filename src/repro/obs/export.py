@@ -13,6 +13,7 @@ Two namespaces share one scrape (``GET /v1/admin/metrics``):
 from __future__ import annotations
 
 import math
+import re
 from typing import Any, Dict, List, Optional
 
 #: The standard Prometheus text-format content type.
@@ -103,4 +104,61 @@ def render_prometheus(obs: Any, sim_metrics: Any = None) -> str:
     return "\n".join(lines) + "\n"
 
 
-__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+#: ``name{labels} value`` / ``name value`` sample line (our exposition
+#: never emits timestamps, so the value is the last field).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{.*\})?\s+(?P<value>\S+)$"
+)
+
+
+def inject_label(text: str, key: str, value: str) -> str:
+    """Add ``key="value"`` to every sample line of an exposition.
+
+    The sharded control plane's router serves one merged ``GET
+    /v1/admin/metrics`` scrape over N per-shard expositions; injecting
+    a ``shard`` label keeps same-named series (every shard runs the
+    same pipeline) distinguishable instead of silently colliding.
+    Comment lines (``# TYPE`` / ``# HELP``) pass through untouched.
+    """
+    escaped = _escape_label(str(value))
+    out: List[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:  # not a sample line we understand — keep as-is
+            out.append(line)
+            continue
+        name, labels, sample = match.group("name", "labels", "value")
+        inner = (labels or "{}")[1:-1]
+        if inner:
+            inner += ","
+        out.append(f'{name}{{{inner}{key}="{escaped}"}} {sample}')
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
+def merge_expositions(shard_texts: Dict[int, str]) -> str:
+    """One scrape body over per-shard expositions: every sample gains a
+    ``shard`` label; duplicate ``# TYPE``/``# HELP`` declarations (each
+    shard declares the same metric families) keep their first
+    occurrence only, as the text format requires."""
+    lines: List[str] = []
+    declared: set = set()
+    for shard_id in sorted(shard_texts):
+        labelled = inject_label(shard_texts[shard_id], "shard", str(shard_id))
+        for line in labelled.splitlines():
+            if line.startswith("#"):
+                if line in declared:
+                    continue
+                declared.add(line)
+            lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "inject_label",
+    "merge_expositions",
+    "render_prometheus",
+]

@@ -14,7 +14,13 @@ from repro.store.codec import ReplayState, request_from_dict, request_to_dict
 from repro.store.journal import Journal, JournalCorrupt, JournalError, JournalRecord
 from repro.store.recovery import RecoveryError, RecoveryManager, RecoveryReport
 from repro.store.snapshot import SnapshotError, SnapshotStore
-from repro.store.store import ControlPlaneStore, NullStore, StoreError, open_store
+from repro.store.store import (
+    ControlPlaneStore,
+    NullStore,
+    StoreError,
+    open_store,
+    shard_directory,
+)
 
 __all__ = [
     "ControlPlaneStore",
@@ -33,4 +39,5 @@ __all__ = [
     "open_store",
     "request_from_dict",
     "request_to_dict",
+    "shard_directory",
 ]

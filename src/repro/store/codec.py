@@ -24,6 +24,8 @@ Record vocabulary (see ``docs/ARCHITECTURE.md`` for the full matrix):
 
 ===================== ==========================================================
 ``admission.enqueued`` request queued for the next batched install
+``broker.enqueued``    request queued in an (undecided) broker window
+``broker.decided``     the broker window flushed a decision for the request
 ``install.started``    install staged southbound (PLMN held, specs planned)
 ``slice.installed``    install committed end-to-end and acknowledged
 ``slice.activated``    slice went ACTIVE (expiry clock started)
@@ -137,6 +139,12 @@ class ReplayState:
             against driver ground truth.
         queued: request_id → request dict of journaled-but-uninstalled
             admissions (re-enqueued on recovery).
+        broker_pending: request_id → request dict of requests sitting
+            in a broker decision window that never flushed — the
+            requests that used to die silently with the process.
+            Recovery re-offers them to the admission path (their
+            ``on_decision`` callbacks are gone with the process, but
+            the admissions themselves survive).
         advance: request_id → ``{"request": ..., "start_time": ...}``
             of pending advance bookings.
         quotas: tenant_id → quota payload.
@@ -154,6 +162,7 @@ class ReplayState:
     live: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     in_flight: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     queued: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    broker_pending: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     advance: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     quotas: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     last_event_seq: int = 0
@@ -203,9 +212,18 @@ class ReplayState:
         if kind == "admission.enqueued":
             request = data["request"]
             self.queued[request["request_id"]] = request
+            # A broker window resolves into the admission queue via the
+            # same journal; the window's claim on the request ends here.
+            self.broker_pending.pop(request["request_id"], None)
+        elif kind == "broker.enqueued":
+            request = data["request"]
+            self.broker_pending[request["request_id"]] = request
+        elif kind == "broker.decided":
+            self.broker_pending.pop(data.get("request_id"), None)
         elif kind == "install.started":
             request = data["request"]
             self.queued.pop(request["request_id"], None)
+            self.broker_pending.pop(request["request_id"], None)
             self.advance.pop(request["request_id"], None)
             self.in_flight[data["slice_id"]] = {
                 "request": request,
@@ -238,6 +256,7 @@ class ReplayState:
             self.in_flight.pop(data["slice_id"], None)
         elif kind == "slice.rejected":
             self.queued.pop(data.get("request_id"), None)
+            self.broker_pending.pop(data.get("request_id"), None)
             self.advance.pop(data.get("request_id"), None)
             self.in_flight.pop(data.get("slice_id"), None)
         elif kind == "slice.modified":
@@ -277,6 +296,7 @@ class ReplayState:
             "live": self.live,
             "in_flight": self.in_flight,
             "queued": self.queued,
+            "broker_pending": self.broker_pending,
             "advance": self.advance,
             "quotas": self.quotas,
             "last_event_seq": self.last_event_seq,
@@ -290,6 +310,10 @@ class ReplayState:
             live={k: dict(v) for k, v in (payload.get("live") or {}).items()},
             in_flight={k: dict(v) for k, v in (payload.get("in_flight") or {}).items()},
             queued={k: dict(v) for k, v in (payload.get("queued") or {}).items()},
+            broker_pending={
+                k: dict(v)
+                for k, v in (payload.get("broker_pending") or {}).items()
+            },
             advance={k: dict(v) for k, v in (payload.get("advance") or {}).items()},
             quotas={k: dict(v) for k, v in (payload.get("quotas") or {}).items()},
             last_event_seq=int(payload.get("last_event_seq", 0)),

@@ -67,6 +67,7 @@ class RecoveryReport:
     slices_adopted: int = 0
     slices_lost: int = 0
     admissions_requeued: int = 0
+    broker_requeued: int = 0
     bookings_restored: int = 0
     bookings_promoted: int = 0
     orphans_compensated: int = 0
@@ -83,6 +84,7 @@ class RecoveryReport:
             "slices_adopted": self.slices_adopted,
             "slices_lost": self.slices_lost,
             "admissions_requeued": self.admissions_requeued,
+            "broker_requeued": self.broker_requeued,
             "bookings_restored": self.bookings_restored,
             "bookings_promoted": self.bookings_promoted,
             "orphans_compensated": self.orphans_compensated,
@@ -155,6 +157,7 @@ class RecoveryManager:
         self._compensate_orphans(truth, adopted_ids, report)
         self._restore_bookings(state, crash_time, report)
         self._requeue_admissions(state, report)
+        self._requeue_broker_windows(state, report)
         self._restore_quotas(state, report)
 
         # A fresh checkpoint makes the journal compact and time-coherent
@@ -356,6 +359,25 @@ class RecoveryManager:
             request = request_from_dict(payload)
             orch.enqueue_admitted(request, orch.default_profile(request))
             report.admissions_requeued += 1
+
+    def _requeue_broker_windows(
+        self, state: ReplayState, report: RecoveryReport
+    ) -> None:
+        """Re-offer requests that were sitting in a broker decision
+        window the crash cut short (``broker.enqueued`` with no
+        ``broker.decided``).  Unlike journaled admissions these were
+        never *admitted* — the window died before deciding — so they go
+        back through full online admission (``Orchestrator.submit``),
+        not straight into the install queue; losers are booked as
+        ordinary rejections.  The original ``on_decision`` callbacks
+        died with the process."""
+        orch = self.orchestrator
+        for request_id, payload in state.broker_pending.items():
+            if request_id in state.queued:
+                continue  # already re-offered by _requeue_admissions
+            request = request_from_dict(payload)
+            orch.submit(request, orch.default_profile(request))
+            report.broker_requeued += 1
 
     def _restore_quotas(self, state: ReplayState, report: RecoveryReport) -> None:
         if not state.quotas:

@@ -28,6 +28,20 @@ class StoreError(RuntimeError):
     """Raised on store misuse (e.g. checkpointing a disabled store)."""
 
 
+def shard_directory(root: str, shard_id: int) -> str:
+    """The on-disk namespace of one shard under a durability root.
+
+    The sharded control plane (:mod:`repro.cluster`) gives every shard
+    its own journal + snapshot family so shard leaders never contend on
+    a file, and a standby can tail exactly one shard's WAL.  The layout
+    is part of the durable contract: a standby, a recovery run and the
+    failover drill all resolve the same ``shard-<id>/`` path.
+    """
+    if shard_id < 0:
+        raise StoreError(f"shard_id must be non-negative, got {shard_id}")
+    return os.path.join(str(root), f"shard-{int(shard_id):03d}")
+
+
 class NullStore:
     """The no-op store wired when durability is disabled.
 
@@ -38,6 +52,7 @@ class NullStore:
 
     enabled = False
     directory: Optional[str] = None
+    shard_id: Optional[int] = None
 
     @property
     def last_lsn(self) -> int:
@@ -93,6 +108,10 @@ class ControlPlaneStore:
             orchestrator's monitoring loop writes a new one.  ``0``
             disables auto-checkpointing (manual ``POST
             /v1/admin/checkpoint`` still works).
+        shard_id: Optional shard namespace — the store then lives in
+            ``<directory>/shard-<id>/`` (see :func:`shard_directory`),
+            giving every shard of a :mod:`repro.cluster` control plane
+            its own journal + snapshot family under one root.
     """
 
     enabled = True
@@ -102,7 +121,11 @@ class ControlPlaneStore:
         directory: str,
         fsync_every: int = 32,
         checkpoint_every: int = 512,
+        shard_id: Optional[int] = None,
     ) -> None:
+        self.shard_id = shard_id if shard_id is None else int(shard_id)
+        if self.shard_id is not None:
+            directory = shard_directory(directory, self.shard_id)
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.checkpoint_every = int(checkpoint_every)
@@ -250,6 +273,7 @@ class ControlPlaneStore:
         return {
             "enabled": True,
             "directory": self.directory,
+            "shard_id": self.shard_id,
             "last_lsn": self.journal.last_lsn,
             "snapshot_lsn": self._snapshot_lsn,
             "records_since_checkpoint": self.records_since_checkpoint,
@@ -263,14 +287,24 @@ def open_store(
     directory: Optional[str],
     fsync_every: int = 32,
     checkpoint_every: int = 512,
+    shard_id: Optional[int] = None,
 ) -> "ControlPlaneStore | NullStore":
     """The store for ``directory`` — or the :class:`NullStore` when
     durability is not configured."""
     if not directory:
         return NullStore()
     return ControlPlaneStore(
-        directory, fsync_every=fsync_every, checkpoint_every=checkpoint_every
+        directory,
+        fsync_every=fsync_every,
+        checkpoint_every=checkpoint_every,
+        shard_id=shard_id,
     )
 
 
-__all__ = ["ControlPlaneStore", "NullStore", "StoreError", "open_store"]
+__all__ = [
+    "ControlPlaneStore",
+    "NullStore",
+    "StoreError",
+    "open_store",
+    "shard_directory",
+]

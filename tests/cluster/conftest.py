@@ -1,0 +1,80 @@
+"""Shared fixtures for the sharded control-plane suite: a 2-shard
+durable cluster whose per-shard testbeds carry a pure-mock ``firewall``
+chaos domain (exact held-capacity accounting, stallable commits), plus
+tenant helpers that deterministically land traffic on a chosen shard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.cluster import ClusterConfig, ControlPlaneCluster
+from repro.drivers.mock import MockDriver
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+
+SHARDS = 2
+#: Short wall-clock lease so leader-death detection costs the suite
+#: milliseconds, not the production 5 s timeout.
+LEASE_TIMEOUT_S = 0.05
+
+
+def chaos_testbed() -> Testbed:
+    """One shard's southbound, scaled for 16-job batches, with the
+    ``firewall`` chaos domain."""
+    testbed = build_testbed(
+        TestbedConfig(n_enbs=4, max_plmns_per_enb=12, plmn_pool_size=40)
+    )
+    testbed.registry.register(
+        MockDriver("firewall", capacity_mbps=100_000.0, max_concurrent_installs=8)
+    )
+    return testbed
+
+
+def build_cluster(tmp_path, shards: int = SHARDS, **overrides) -> ControlPlaneCluster:
+    """A durable cluster with chaos testbeds, one journal namespace per
+    shard under ``tmp_path / "store"``."""
+    overrides.setdefault("orchestrator", {"monitoring_epoch_s": 60.0})
+    config = ClusterConfig(
+        shards=shards,
+        durability_root=str(tmp_path / "store"),
+        lease_timeout_s=LEASE_TIMEOUT_S,
+        **overrides,
+    )
+    return ControlPlaneCluster(
+        config, testbeds=[chaos_testbed() for _ in range(shards)]
+    )
+
+
+def tenants_per_shard(cluster: ControlPlaneCluster) -> Dict[int, str]:
+    """One deterministic tenant per shard (the ring is seedless and
+    stable, so ``tenant-<i>`` placement never changes between runs)."""
+    owners: Dict[int, str] = {}
+    for i in range(256):
+        tenant = f"tenant-{i}"
+        owners.setdefault(cluster.ring.shard_for(tenant), tenant)
+        if len(owners) == cluster.config.shards:
+            return owners
+    raise AssertionError("ring failed to cover every shard in 256 tenants")
+
+
+def slice_body(tenant: str, **overrides) -> dict:
+    body = {
+        "service_type": "embb",
+        "throughput_mbps": 5.0,
+        "max_latency_ms": 50.0,
+        "duration_s": 3_600.0,
+        "price": 100.0,
+        "penalty_rate": 1.0,
+        "tenant_id": tenant,
+    }
+    body.update(overrides)
+    return body
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    built = build_cluster(tmp_path)
+    yield built
+    built.close()

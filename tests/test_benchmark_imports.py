@@ -12,7 +12,9 @@ import pathlib
 import pytest
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
-BENCH_MODULES = sorted(BENCH_DIR.glob("bench_*.py"))
+BENCH_MODULES = sorted(BENCH_DIR.glob("bench_*.py")) + [
+    BENCH_DIR / "failover_drill.py"
+]
 
 
 def test_bench_modules_discovered():

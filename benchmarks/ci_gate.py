@@ -66,13 +66,14 @@ from benchmarks.bench_d12_recovery import (  # noqa: E402
 )
 from benchmarks.bench_d8_scalability import (  # noqa: E402
     BATCH_SLICES,
+    MIN_POINT_REQUESTS,
     STALL_JOBS,
     STALL_RELEASE_S,
     STALL_TIMEOUT_S,
     _install_burst,
     _stalled_batch,
     measure_obs_overhead,
-    run_scale,
+    run_scale_measured,
 )
 from repro.drivers.planner import (  # noqa: E402
     BatchInstallPlanner,
@@ -100,13 +101,17 @@ SWEEP_SCALES = tuple(
 SWEEP_HORIZON_S = float(os.environ.get("D8_SWEEP_HORIZON_S", "600"))
 #: Warn when the per-request cost at the largest sweep point exceeds
 #: this multiple of the smallest — the curve should stay near-flat.
-SWEEP_FLATNESS_RATIO = float(os.environ.get("D8_FLATNESS_RATIO", "3.0"))
+#: Tightened (3.0 → 2.0) with the delta-maintained placement indices:
+#: the hot path no longer rescans the fleet per request, and every
+#: sweep point now measures a median over >= MIN_POINT_REQUESTS
+#: requests, so the old single-request noise allowance is gone.
+SWEEP_FLATNESS_RATIO = float(os.environ.get("D8_FLATNESS_RATIO", "2.0"))
 #: Soft gate: *fail* the build when the curve blows past this explicit
-#: tolerance.  Deliberately far above the warn ratio — the warn band
+#: tolerance.  Deliberately above the warn ratio — the warn band
 #: absorbs shared-runner noise, the gate catches a genuinely
-#: super-linear regression (a curve that doubles the warn bar is not
-#: scheduler jitter).
-SWEEP_FLATNESS_GATE_RATIO = float(os.environ.get("D8_FLATNESS_GATE_RATIO", "6.0"))
+#: super-linear regression.  Tightened (6.0 → 3.0) alongside the warn
+#: bar for the same reasons.
+SWEEP_FLATNESS_GATE_RATIO = float(os.environ.get("D8_FLATNESS_GATE_RATIO", "3.0"))
 
 #: Sharded-mode sweep points (eNBs *per shard*, 2 shards) — the same
 #: flatness warn/gate applies to the router-fronted path.  The floor
@@ -151,17 +156,24 @@ def run_scale_sweep(warnings: list, failures: list) -> dict:
     curve = {}
     points = []
     for n_enbs in SWEEP_SCALES:
-        result, elapsed = run_scale(n_enbs, horizon_s=SWEEP_HORIZON_S)
-        cost_ms = 1_000.0 * elapsed / max(1, result.requests)
-        curve[n_enbs] = cost_ms
+        point = run_scale_measured(n_enbs, horizon_s=SWEEP_HORIZON_S)
+        curve[n_enbs] = point["ms_per_request"]
         points.append(
             {
                 "enbs": n_enbs,
-                "requests": result.requests,
-                "wall_s": round(elapsed, 4),
-                "ms_per_request": round(cost_ms, 4),
+                "requests": point["requests"],
+                "runs": point["runs"],
+                "wall_s": round(point["wall_s"], 4),
+                "ms_per_request": round(point["ms_per_request"], 4),
             }
         )
+        if point["requests"] < MIN_POINT_REQUESTS:
+            failures.append(
+                f"D8 sweep: point {n_enbs} eNBs measured only "
+                f"{point['requests']} requests across {point['runs']} runs "
+                f"(minimum {MIN_POINT_REQUESTS}) — its ms_per_request is "
+                "noise, not a measurement"
+            )
     smallest, largest = min(SWEEP_SCALES), max(SWEEP_SCALES)
     flatness = curve[largest] / max(curve[smallest], 1e-9)
     _check_flatness("D8 sweep", flatness, warnings, failures)

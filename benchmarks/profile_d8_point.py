@@ -1,0 +1,68 @@
+"""cProfile one D8 sweep point and dump the profile as a CI artifact.
+
+Nightly runs this after the scale sweep so a flatness regression comes
+with the profile that explains it: the ``.prof`` dump opens in
+``snakeviz``/``pstats`` and the ``.txt`` is the top-of-stack summary
+readable straight from the artifact listing.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/profile_d8_point.py \
+        --enbs 32 --out-dir d8-profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from benchmarks.bench_d8_scalability import HORIZON_S, run_scale
+
+TOP_N = 40
+
+
+def profile_point(n_enbs: int, horizon_s: float, seed: int, out_dir: Path) -> Path:
+    """Profile one ``run_scale`` point; write ``.prof`` + ``.txt`` dumps.
+
+    Returns:
+        The path of the text summary.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result, _elapsed = run_scale(n_enbs, seed=seed, horizon_s=horizon_s)
+    profiler.disable()
+
+    prof_path = out_dir / f"d8_{n_enbs}enbs.prof"
+    profiler.dump_stats(str(prof_path))
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    for order in ("cumulative", "tottime"):
+        buffer.write(f"=== top {TOP_N} by {order} ===\n")
+        stats.sort_stats(order).print_stats(TOP_N)
+    text_path = out_dir / f"d8_{n_enbs}enbs.txt"
+    header = (
+        f"D8 point profile: {n_enbs} eNBs, horizon {horizon_s:.0f}s, seed {seed}\n"
+        f"requests={result.requests} admitted={result.admitted}\n\n"
+    )
+    text_path.write_text(header + buffer.getvalue())
+    return text_path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--enbs", type=int, default=32, help="fleet size to profile")
+    parser.add_argument("--horizon-s", type=float, default=HORIZON_S)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--out-dir", type=Path, default=Path("d8-profile"))
+    args = parser.parse_args()
+    text_path = profile_point(args.enbs, args.horizon_s, args.seed, args.out_dir)
+    print(f"profile written: {text_path}")
+
+
+if __name__ == "__main__":
+    main()

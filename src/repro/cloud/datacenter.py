@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, List, Optional
+from bisect import bisect_left, insort
+from typing import Callable, Dict, List, Optional
 
 from repro.cloud.flavors import Flavor
 
@@ -78,6 +79,17 @@ class ComputeNode:
         self.total_ram_gb = float(ram_gb)
         self.total_disk_gb = float(disk_gb)
         self._vms: Dict[str, VirtualMachine] = {}
+        # Running usage totals maintained by boot/destroy so the
+        # accounting properties below are O(1) instead of O(#VMs);
+        # ``check_invariants`` recomputes and cross-checks them.  Float
+        # totals reset to exact zero whenever the node empties so drift
+        # cannot accumulate across VM churn.
+        self._used_vcpus = 0
+        self._used_ram_gb = 0.0
+        self._used_disk_gb = 0.0
+        #: Invoked with (Δvcpus, Δram, Δdisk) after boot/destroy; the
+        #: owning Datacenter hooks this to keep its aggregates O(1).
+        self.on_change: Optional[Callable[[int, float, float], None]] = None
 
     # ------------------------------------------------------------------
     # Accounting
@@ -85,23 +97,17 @@ class ComputeNode:
     @property
     def used_vcpus(self) -> int:
         """vCPUs consumed by non-deleted VMs."""
-        return sum(
-            vm.flavor.vcpus for vm in self._vms.values() if vm.state is not VmState.DELETED
-        )
+        return self._used_vcpus
 
     @property
     def used_ram_gb(self) -> float:
         """RAM consumed by non-deleted VMs."""
-        return sum(
-            vm.flavor.ram_gb for vm in self._vms.values() if vm.state is not VmState.DELETED
-        )
+        return self._used_ram_gb
 
     @property
     def used_disk_gb(self) -> float:
         """Disk consumed by non-deleted VMs."""
-        return sum(
-            vm.flavor.disk_gb for vm in self._vms.values() if vm.state is not VmState.DELETED
-        )
+        return self._used_disk_gb
 
     @property
     def free_vcpus(self) -> int:
@@ -139,6 +145,12 @@ class ComputeNode:
         vm.node_id = self.node_id
         self._vms[vm.vm_id] = vm
         vm.activate()
+        flavor = vm.flavor
+        self._used_vcpus += flavor.vcpus
+        self._used_ram_gb += flavor.ram_gb
+        self._used_disk_gb += flavor.disk_gb
+        if self.on_change is not None:
+            self.on_change(flavor.vcpus, flavor.ram_gb, flavor.disk_gb)
 
     def destroy(self, vm_id: str) -> None:
         """Delete a VM and reclaim its resources.
@@ -150,13 +162,46 @@ class ComputeNode:
         if vm is None:
             raise CloudError(f"VM {vm_id} not on node {self.node_id}")
         vm.delete()
+        flavor = vm.flavor
+        self._used_vcpus -= flavor.vcpus
+        self._used_ram_gb -= flavor.ram_gb
+        self._used_disk_gb -= flavor.disk_gb
+        if not self._vms:
+            self._used_ram_gb = 0.0
+            self._used_disk_gb = 0.0
+        if self.on_change is not None:
+            self.on_change(-flavor.vcpus, -flavor.ram_gb, -flavor.disk_gb)
 
     def vms(self) -> List[VirtualMachine]:
         """VMs currently accounted on this node."""
         return list(self._vms.values())
 
     def check_invariants(self) -> None:
-        """Assert capacity invariants (used by property tests)."""
+        """Assert capacity invariants (used by property tests).
+
+        Also recomputes the delta-maintained usage totals from the VM
+        table and fails if they drifted from ground truth.
+        """
+        vcpus = sum(
+            vm.flavor.vcpus for vm in self._vms.values() if vm.state is not VmState.DELETED
+        )
+        ram = sum(
+            vm.flavor.ram_gb for vm in self._vms.values() if vm.state is not VmState.DELETED
+        )
+        disk = sum(
+            vm.flavor.disk_gb for vm in self._vms.values() if vm.state is not VmState.DELETED
+        )
+        if (
+            vcpus != self._used_vcpus
+            or abs(ram - self._used_ram_gb) > 1e-6
+            or abs(disk - self._used_disk_gb) > 1e-6
+        ):
+            raise CloudError(
+                f"{self.node_id}: running usage totals "
+                f"({self._used_vcpus} vCPU, {self._used_ram_gb} GiB RAM, "
+                f"{self._used_disk_gb} GiB disk) drifted from recomputed "
+                f"({vcpus} vCPU, {ram} GiB RAM, {disk} GiB disk)"
+            )
         if self.used_vcpus > self.total_vcpus:
             raise CloudError(f"{self.node_id}: vCPU overcommit")
         if self.used_ram_gb > self.total_ram_gb + 1e-9:
@@ -204,6 +249,85 @@ class Datacenter:
             if node.node_id in self._nodes:
                 raise CloudError(f"duplicate node id {node.node_id}")
             self._nodes[node.node_id] = node
+        # DC-level aggregates maintained from node boot/destroy deltas
+        # so the fleet-wide capacity queries are O(1) per DC instead of
+        # O(#nodes); the node inventory is fixed after construction.
+        self._total_vcpus = sum(n.total_vcpus for n in self._nodes.values())
+        self._free_vcpus = sum(n.free_vcpus for n in self._nodes.values())
+        self._free_ram_gb = sum(n.free_ram_gb for n in self._nodes.values())
+        # Delta-maintained best-fit index: nodes sorted by
+        # (free_vcpus, free_ram_gb, node_id) — exactly the key
+        # BestFitPlacement minimizes over — so a placement query walks
+        # forward from the first node with enough vCPUs instead of
+        # scanning the whole inventory per VM.
+        self._fit_index: List[tuple] = []
+        self._fit_entry: Dict[str, tuple] = {}
+        for node in self._nodes.values():
+            entry = (node.free_vcpus, node.free_ram_gb, node.node_id)
+            insort(self._fit_index, entry)
+            self._fit_entry[node.node_id] = entry
+            node.on_change = (
+                lambda dv, dr, dd, node_id=node.node_id: self._node_changed(
+                    node_id, dv, dr, dd
+                )
+            )
+
+    def _node_changed(
+        self, node_id: str, d_vcpus: int, d_ram_gb: float, d_disk_gb: float
+    ) -> None:
+        self._free_vcpus -= d_vcpus
+        self._free_ram_gb -= d_ram_gb
+        node = self._nodes[node_id]
+        old = self._fit_entry[node_id]
+        entry = (node.free_vcpus, node.free_ram_gb, node_id)
+        if entry == old:
+            return
+        self._fit_index.pop(bisect_left(self._fit_index, old))
+        insort(self._fit_index, entry)
+        self._fit_entry[node_id] = entry
+
+    def best_fit_node(self, flavor: Flavor) -> Optional[ComputeNode]:
+        """Least-free node that can host ``flavor`` (best-fit order).
+
+        Walks the sorted index forward from the first node with enough
+        free vCPUs; the first node whose RAM/disk also fit is exactly
+        ``min(fitting, key=(free_vcpus, free_ram_gb, node_id))`` — the
+        node :class:`~repro.cloud.placement.BestFitPlacement` picks.
+        Returns None when nothing fits.
+        """
+        start = bisect_left(self._fit_index, (flavor.vcpus,))
+        for free_vcpus, _free_ram, node_id in self._fit_index[start:]:
+            node = self._nodes[node_id]
+            if node.can_host(flavor):
+                return node
+        return None
+
+    def verify_fit_index(self) -> None:
+        """Cross-check the best-fit index against a recompute.
+
+        Raises:
+            CloudError: If any entry, the sort order, or the DC-level
+                aggregates drifted from ground truth (property tests
+                call this after randomized boot/destroy schedules).
+        """
+        if sorted(self._fit_index) != self._fit_index:
+            raise CloudError(f"{self.dc_id}: best-fit index out of order")
+        if len(self._fit_index) != len(self._nodes):
+            raise CloudError(f"{self.dc_id}: best-fit index size drifted")
+        for node_id, node in self._nodes.items():
+            expected = (node.free_vcpus, node.free_ram_gb, node_id)
+            if self._fit_entry.get(node_id) != expected:
+                raise CloudError(
+                    f"{self.dc_id}: index entry for {node_id} is "
+                    f"{self._fit_entry.get(node_id)}, expected {expected}"
+                )
+        if self._free_vcpus != sum(n.free_vcpus for n in self._nodes.values()):
+            raise CloudError(f"{self.dc_id}: free-vCPU aggregate drifted")
+        if (
+            abs(self._free_ram_gb - sum(n.free_ram_gb for n in self._nodes.values()))
+            > 1e-6
+        ):
+            raise CloudError(f"{self.dc_id}: free-RAM aggregate drifted")
 
     def nodes(self) -> List[ComputeNode]:
         """All hypervisors in this DC."""
@@ -219,20 +343,39 @@ class Datacenter:
     @property
     def total_vcpus(self) -> int:
         """Aggregate vCPU capacity."""
-        return sum(n.total_vcpus for n in self._nodes.values())
+        return self._total_vcpus
 
     @property
     def free_vcpus(self) -> int:
         """Aggregate free vCPUs."""
-        return sum(n.free_vcpus for n in self._nodes.values())
+        return self._free_vcpus
 
     @property
     def free_ram_gb(self) -> float:
         """Aggregate free RAM."""
-        return sum(n.free_ram_gb for n in self._nodes.values())
+        return self._free_ram_gb
 
     def can_host_flavors(self, flavors: List[Flavor]) -> bool:
         """Whether the flavor list fits via first-fit-decreasing (no state change)."""
+        if not flavors:
+            return True
+        need_vcpus = sum(f.vcpus for f in flavors)
+        # Exact negative fast path: vCPUs are integers (no epsilon in
+        # ``fits_within``), so FFD cannot place more than the aggregate.
+        if need_vcpus > self._free_vcpus:
+            return False
+        # O(1) positive fast path: if the roomiest node alone hosts the
+        # whole set, FFD provably succeeds — at every step the flavors
+        # not yet placed on that node still fit in its remaining free
+        # space, so no flavor can fail to place.
+        if self._fit_index:
+            roomiest = self._nodes[self._fit_index[-1][2]]
+            if (
+                need_vcpus <= roomiest.free_vcpus
+                and sum(f.ram_gb for f in flavors) <= roomiest.free_ram_gb
+                and sum(f.disk_gb for f in flavors) <= roomiest.free_disk_gb
+            ):
+                return True
         free = [
             [n.free_vcpus, n.free_ram_gb, n.free_disk_gb] for n in self._nodes.values()
         ]

@@ -95,7 +95,7 @@ class HeatStack:
             for r in self.template.resources
         ]
         try:
-            policy.place_all(self.datacenter.nodes(), vms)
+            policy.place_all(self.datacenter.nodes(), vms, datacenter=self.datacenter)
         except PlacementError as exc:
             self.state = StackState.CREATE_FAILED
             raise CloudError(

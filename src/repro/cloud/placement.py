@@ -10,7 +10,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional
 
-from repro.cloud.datacenter import ComputeNode, VirtualMachine
+from repro.cloud.datacenter import ComputeNode, Datacenter, VirtualMachine
 from repro.cloud.flavors import Flavor
 
 
@@ -21,14 +21,29 @@ class PlacementError(RuntimeError):
 class PlacementPolicy(ABC):
     """Chooses a compute node for each VM to boot."""
 
+    #: Policies whose choice order matches the datacenter's
+    #: delta-maintained best-fit index set this True; ``place_all`` then
+    #: answers each pick from the index instead of scanning ``nodes``.
+    uses_dc_index = False
+
     @abstractmethod
     def choose_node(self, nodes: List[ComputeNode], flavor: Flavor) -> Optional[ComputeNode]:
         """Node to host ``flavor``, or None if nothing fits."""
 
     def place_all(
-        self, nodes: List[ComputeNode], vms: List[VirtualMachine]
+        self,
+        nodes: List[ComputeNode],
+        vms: List[VirtualMachine],
+        datacenter: Optional[Datacenter] = None,
     ) -> List[ComputeNode]:
         """Boot every VM, atomically: on any failure, roll back all boots.
+
+        Args:
+            nodes: Candidate hypervisors, in inventory order.
+            vms: VMs to boot, in order.
+            datacenter: When given (and it owns exactly ``nodes``),
+                index-aware policies answer each pick from the DC's
+                sorted free-capacity index instead of scanning.
 
         Returns:
             The node chosen for each VM, parallel to ``vms``.
@@ -36,11 +51,15 @@ class PlacementPolicy(ABC):
         Raises:
             PlacementError: If any VM cannot be placed (state unchanged).
         """
+        use_index = datacenter is not None and self.uses_dc_index
         booted: List[tuple] = []
         chosen: List[ComputeNode] = []
         try:
             for vm in vms:
-                node = self.choose_node(nodes, vm.flavor)
+                if use_index:
+                    node = datacenter.best_fit_node(vm.flavor)
+                else:
+                    node = self.choose_node(nodes, vm.flavor)
                 if node is None:
                     raise PlacementError(
                         f"no node fits {vm.flavor.name} for VM {vm.name}"
@@ -68,7 +87,14 @@ class FirstFitPlacement(PlacementPolicy):
 
 
 class BestFitPlacement(PlacementPolicy):
-    """Node with least free vCPUs that still fits — consolidates load."""
+    """Node with least free vCPUs that still fits — consolidates load.
+
+    When ``place_all`` is handed the owning datacenter the pick comes
+    from the DC's sorted free-capacity index (same order as the ``min``
+    below) instead of re-scanning every node per VM.
+    """
+
+    uses_dc_index = True
 
     def choose_node(self, nodes: List[ComputeNode], flavor: Flavor) -> Optional[ComputeNode]:
         fitting = self._fitting(nodes, flavor)

@@ -29,8 +29,9 @@ the :class:`~repro.drivers.registry.DriverRegistry`).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.cloud.controller import CloudAllocation, CloudController
 from repro.cloud.datacenter import Datacenter, DatacenterTier
@@ -88,6 +89,94 @@ class MultiDomainAllocator:
         self.ran = ran
         self.transport = transport
         self.cloud = cloud
+        # Delta-maintained uplink aggregates: per eNB transport node we
+        # cache the best residual of its up out-links, kept in a sorted
+        # index (for the max) alongside a running sum weighted by how
+        # many eNBs hang off the node.  The topology's dirty-node feed
+        # tells us which nodes to re-derive — including after direct
+        # ``link.fail()``/``restore()`` calls that bypass the transport
+        # controller — so ``free_vector``/``aggregate_free_vector`` no
+        # longer walk every uplink per call.
+        self._uplink_dirty = transport.topology.subscribe_dirty()
+        self._uplink_count: Dict[str, int] = {}  # node -> #eNBs attached
+        self._uplink_best: Dict[str, float] = {}  # node -> best residual
+        self._uplink_index: List[Tuple[float, str]] = []  # sorted (best, node)
+        self._uplink_sum = 0.0  # sum over eNBs of their node's best residual
+        self._ran_seen_version = -1
+
+    # ------------------------------------------------------------------
+    # Delta-maintained uplink aggregates
+    # ------------------------------------------------------------------
+    def _node_best_residual(self, node: str) -> float:
+        best = 0.0
+        for link in self.transport.topology.out_links(node):
+            if link.up and link.residual_mbps > best:
+                best = link.residual_mbps
+        return best
+
+    def _refresh_uplinks(self) -> None:
+        """Bring the uplink aggregates up to date (O(#dirty nodes))."""
+        if self.ran.inventory_version != self._ran_seen_version:
+            self._uplink_count = {}
+            for enb in self.ran.enbs():
+                node = enb.transport_node
+                self._uplink_count[node] = self._uplink_count.get(node, 0) + 1
+            self._uplink_best = {}
+            self._uplink_index = []
+            self._uplink_sum = 0.0
+            for node, count in self._uplink_count.items():
+                best = self._node_best_residual(node)
+                self._uplink_best[node] = best
+                insort(self._uplink_index, (best, node))
+                self._uplink_sum += best * count
+            self._ran_seen_version = self.ran.inventory_version
+            self._uplink_dirty.clear()
+            return
+        if not self._uplink_dirty:
+            return
+        for node in self._uplink_dirty:
+            count = self._uplink_count.get(node)
+            if count is None:
+                continue
+            old = self._uplink_best[node]
+            best = self._node_best_residual(node)
+            if best == old:
+                continue
+            self._uplink_index.pop(bisect_left(self._uplink_index, (old, node)))
+            insort(self._uplink_index, (best, node))
+            self._uplink_best[node] = best
+            self._uplink_sum += (best - old) * count
+        self._uplink_dirty.clear()
+
+    def verify_uplink_aggregates(self) -> None:
+        """Cross-check the delta-maintained aggregates against a recompute.
+
+        Raises:
+            AllocationError: If the cached per-node bests, the max index
+                or the running sum drifted from ground truth (property
+                tests call this after randomized schedules).
+        """
+        self._refresh_uplinks()
+        expected_sum = 0.0
+        for enb in self.ran.enbs():
+            node = enb.transport_node
+            best = self._node_best_residual(node)
+            expected_sum += best
+            if abs(self._uplink_best.get(node, -1.0) - best) > 1e-6:
+                raise AllocationError(
+                    "transport",
+                    f"cached best residual for {node} is "
+                    f"{self._uplink_best.get(node)}, expected {best}",
+                )
+        if abs(expected_sum - self._uplink_sum) > 1e-6:
+            raise AllocationError(
+                "transport",
+                f"running uplink sum {self._uplink_sum} drifted from {expected_sum}",
+            )
+        if sorted(self._uplink_index) != self._uplink_index or len(
+            self._uplink_index
+        ) != len(self._uplink_best):
+            raise AllocationError("transport", "uplink max-index corrupted")
 
     # ------------------------------------------------------------------
     # Demand estimation (admission input)
@@ -118,14 +207,9 @@ class MultiDomainAllocator:
         request can use); transport uses the most permissive residual of
         the eNB uplinks; cloud sums free vCPUs.
         """
-        free_prbs = max(self.ran.free_prbs().values(), default=0)
-        residuals = [
-            link.residual_mbps
-            for enb in self.ran.enbs()
-            for link in self.transport.topology.out_links(enb.transport_node)
-            if link.up
-        ]
-        free_mbps = max(residuals, default=0.0)
+        self._refresh_uplinks()
+        free_prbs = self.ran.max_free_prbs()
+        free_mbps = self._uplink_index[-1][0] if self._uplink_index else 0.0
         free_vcpus = sum(dc.free_vcpus for dc in self.cloud.datacenters())
         return ResourceVector(prbs=float(free_prbs), mbps=free_mbps, vcpus=float(free_vcpus))
 
@@ -159,15 +243,9 @@ class MultiDomainAllocator:
         fail per-cell placement at install time; the installer handles
         that by booking a rejection.
         """
-        free_prbs = sum(self.ran.free_prbs().values())
-        free_mbps = 0.0
-        for enb in self.ran.enbs():
-            residuals = [
-                link.residual_mbps
-                for link in self.transport.topology.out_links(enb.transport_node)
-                if link.up
-            ]
-            free_mbps += max(residuals, default=0.0)
+        self._refresh_uplinks()
+        free_prbs = self.ran.total_free_prbs()
+        free_mbps = self._uplink_sum
         free_vcpus = sum(dc.free_vcpus for dc in self.cloud.datacenters())
         return ResourceVector(prbs=float(free_prbs), mbps=free_mbps, vcpus=float(free_vcpus))
 

@@ -149,28 +149,44 @@ class SliceBroker:
             flush_started = perf_counter()
         batch, self._queue = self._queue, []
         self.windows_flushed += 1
-        candidates: List[Tuple[SliceRequest, "object"]] = []
-        for pending in batch:
-            fraction = self.orchestrator.cold_start_fraction(pending.request)
-            candidates.append(
-                (
-                    pending.request,
-                    self.orchestrator.shrunk_demand(pending.request, fraction),
-                )
-            )
+        fractions = self.orchestrator.cold_start_fractions(
+            [pending.request for pending in batch]
+        )
+        candidates: List[Tuple[SliceRequest, "object"]] = [
+            (pending.request, self.orchestrator.shrunk_demand(pending.request, fraction))
+            for pending, fraction in zip(batch, fractions)
+        ]
         free = self.orchestrator.allocator.aggregate_free_vector()
         with obs.timed("broker.decide", label=type(self.policy).__name__):
             batch_decisions = self.policy.decide_batch(candidates, free)
         outcomes: List[Optional[AdmissionDecision]] = []
         winners: List[Tuple[int, PendingRequest]] = []
         now = self.orchestrator.sim.now
+
+        def journal_decided(pending: PendingRequest, outcome) -> None:
+            # The window's durable claim on a request ends with its
+            # decision (the install/reject records already released it —
+            # this is the explicit audit record the replay fold keys on
+            # for requests with no lifecycle record yet).
+            self.orchestrator.store.append(
+                "broker.decided",
+                time=now,
+                request_id=pending.request.request_id,
+                admitted=bool(outcome.admitted) if outcome is not None else False,
+                reason=getattr(outcome, "reason", None),
+            )
+
         for index, ((pending, decision), (_, demand)) in enumerate(
             zip(zip(batch, batch_decisions), candidates)
         ):
             if not decision.admitted:
-                outcomes.append(
-                    self.orchestrator.reject(pending.request, decision.reason)
-                )
+                outcome = self.orchestrator.reject(pending.request, decision.reason)
+                outcomes.append(outcome)
+                # Journal the loser the moment it is decided: if the
+                # install batch below dies mid-window, recovery must not
+                # re-offer an already-rejected request through admission
+                # (that would double-decide it).
+                journal_decided(pending, outcome)
                 continue
             # Winners must still respect capacity promised to advance
             # bookings ("upcoming requests", paper §2) — same check
@@ -182,33 +198,27 @@ class SliceBroker:
                     + self.orchestrator.config.deploy_time_s
                 )
                 if not self.orchestrator.calendar.fits(demand, now, horizon):
-                    outcomes.append(
-                        self.orchestrator.reject(
-                            pending.request,
-                            "conflicts with advance reservations on the calendar",
-                        )
+                    outcome = self.orchestrator.reject(
+                        pending.request,
+                        "conflicts with advance reservations on the calendar",
                     )
+                    outcomes.append(outcome)
+                    journal_decided(pending, outcome)
                     continue
             outcomes.append(None)  # resolved by the batched install below
             winners.append((index, pending))
         if winners:
+            # Winners are journaled only after their install resolves:
+            # a crash inside the batch leaves them undecided in the
+            # journal, minus any whose ``install.started`` record
+            # already landed — recovery re-offers exactly that set, so
+            # no request is ever decided twice.
             installed = self.orchestrator.install_admitted_batch(
                 [(pending.request, pending.profile) for _, pending in winners]
             )
-            for (index, _), outcome in zip(winners, installed):
+            for (index, pending), outcome in zip(winners, installed):
                 outcomes[index] = outcome
-        # The window's durable claim on each request ends with its
-        # decision (the install/reject records above already released
-        # winners and losers — this is the explicit audit record the
-        # replay fold keys on for requests with no lifecycle record yet).
-        for pending, outcome in zip(batch, outcomes):
-            self.orchestrator.store.append(
-                "broker.decided",
-                time=now,
-                request_id=pending.request.request_id,
-                admitted=bool(outcome.admitted) if outcome is not None else False,
-                reason=getattr(outcome, "reason", None),
-            )
+                journal_decided(pending, outcome)
         for pending, outcome in zip(batch, outcomes):
             if pending.on_decision is not None:
                 pending.on_decision(outcome)

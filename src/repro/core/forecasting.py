@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -33,6 +34,14 @@ from scipy import stats
 
 class ForecastError(RuntimeError):
     """Raised when a forecaster is used before fitting or on bad input."""
+
+
+@lru_cache(maxsize=64)
+def _z_value(q: float) -> float:
+    """Gaussian upper-quantile z for ``q``, cached — ``stats.norm.ppf``
+    costs more than an entire vectorized forecast path and the engine
+    asks for the same handful of quantiles on every window."""
+    return float(stats.norm.ppf(q))
 
 
 class Forecaster(ABC):
@@ -53,6 +62,14 @@ class Forecaster(ABC):
     @abstractmethod
     def _point_forecast(self, h: int) -> float:
         """Model-specific point forecast ``h ≥ 1`` steps ahead."""
+
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        """Point forecasts for steps ``1..horizon`` in one pass.
+
+        Subclasses override this with a vectorized (or single-recursion)
+        implementation; the fallback keeps custom forecasters working.
+        """
+        return np.array([self._point_forecast(h) for h in range(1, horizon + 1)])
 
     @abstractmethod
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
@@ -94,11 +111,17 @@ class Forecaster(ABC):
         return max(0.0, float(self._point_forecast(h)))
 
     def forecast_path(self, horizon: int) -> np.ndarray:
-        """Point forecasts for steps ``1..horizon``."""
+        """Point forecasts for steps ``1..horizon``.
+
+        Computed in a single vectorized pass over the fitted model state
+        (one recursion for AR) instead of re-deriving the forecast per
+        horizon step; matches ``forecast(h)`` exactly at every step.
+        """
         self._require_fitted()
         if horizon < 1:
             raise ForecastError(f"horizon must be ≥ 1, got {horizon}")
-        return np.array([self.forecast(h) for h in range(1, horizon + 1)])
+        path = np.asarray(self._point_forecast_path(horizon), dtype=float)
+        return np.maximum(0.0, path)
 
     def forecast_quantile(self, h: int = 1, q: float = 0.95) -> float:
         """Upper ``q``-quantile forecast: point + z_q × residual σ.
@@ -112,8 +135,26 @@ class Forecaster(ABC):
         if not 0.0 < q < 1.0:
             raise ForecastError(f"quantile must be in (0, 1), got {q}")
         point = self.forecast(h)
-        z = float(stats.norm.ppf(q))
+        z = _z_value(q)
         return max(0.0, point + z * self._residual_std * math.sqrt(h))
+
+    def forecast_quantile_path(self, horizon: int, q: float = 0.95) -> np.ndarray:
+        """Upper ``q``-quantile forecasts for steps ``1..horizon``.
+
+        One vectorized pass: the point path plus the √h-widened
+        residual band; matches ``forecast_quantile(h, q)`` at every
+        step.
+
+        Raises:
+            ForecastError: If not fitted, ``horizon < 1`` or ``q``
+                outside (0, 1).
+        """
+        if not 0.0 < q < 1.0:
+            raise ForecastError(f"quantile must be in (0, 1), got {q}")
+        path = self.forecast_path(horizon)
+        z = _z_value(q)
+        widths = z * self._residual_std * np.sqrt(np.arange(1, horizon + 1, dtype=float))
+        return np.maximum(0.0, path + widths)
 
     def residual_std(self) -> float:
         """In-sample one-step residual standard deviation."""
@@ -140,6 +181,9 @@ class NaiveForecaster(Forecaster):
     def _point_forecast(self, h: int) -> float:
         return self._last
 
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._last)
+
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         fitted = np.empty_like(y)
         fitted[0] = y[0]
@@ -162,12 +206,20 @@ class MovingAverageForecaster(Forecaster):
     def _point_forecast(self, h: int) -> float:
         return self._level
 
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._level)
+
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
-        fitted = np.empty_like(y)
+        # Trailing-window means via cumulative sums: fitted[i] is the
+        # mean of y[max(0, i-window):i], computed without a Python loop.
+        fitted = np.empty_like(y, dtype=float)
         fitted[0] = y[0]
-        for i in range(1, y.size):
-            lo = max(0, i - self.window)
-            fitted[i] = y[lo:i].mean()
+        if y.size > 1:
+            csum = np.cumsum(y, dtype=float)
+            idx = np.arange(1, y.size)
+            lo = np.maximum(0, idx - self.window)
+            sums = csum[idx - 1] - np.where(lo > 0, csum[lo - 1], 0.0)
+            fitted[1:] = sums / (idx - lo)
         return fitted
 
 
@@ -212,6 +264,24 @@ class ArForecaster(Forecaster):
             value = self._intercept + float(np.dot(self._coef, lags))
             lags = [value] + lags[:-1]
         return value
+
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        # One iterated recursion yields every step — O(H·p) instead of
+        # the O(H²·p) of restarting the recursion per horizon step.
+        if self._coef is None:
+            return np.full(horizon, self._last)
+        p = self.order
+        buf = np.empty(p + horizon)
+        buf[:p] = self._tail[::-1]  # oldest first; buf[p+h] holds step h+1
+        out = np.empty(horizon)
+        coef = self._coef
+        intercept = self._intercept
+        for h in range(horizon):
+            window = buf[h : h + p][::-1]  # most recent first for the dot
+            value = intercept + float(np.dot(coef, window))
+            buf[p + h] = value
+            out[h] = value
+        return out
 
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         fitted = y.copy().astype(float)
@@ -306,6 +376,14 @@ class HoltWintersForecaster(Forecaster):
             value += self._season[(self._n + h - 1) % self.m]
         return value
 
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        h = np.arange(1, horizon + 1, dtype=float)
+        path = self._level + h * self._trend
+        if self._seasonal:
+            season = np.asarray(self._season, dtype=float)
+            path = path + season[(self._n + np.arange(horizon)) % self.m]
+        return path
+
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         *_, fitted = self._smooth(y)
         return fitted
@@ -332,6 +410,13 @@ class SeasonalNaiveForecaster(Forecaster):
         if y.size < self.m:
             return float(y[-1])
         return float(y[-self.m + ((h - 1) % self.m)])
+
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        y = self._y
+        if y.size < self.m:
+            return np.full(horizon, float(y[-1]))
+        offsets = -self.m + (np.arange(horizon) % self.m)
+        return y[offsets].astype(float)
 
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         fitted = y.astype(float).copy()
@@ -366,6 +451,9 @@ class SimpleExpSmoothingForecaster(Forecaster):
     def _point_forecast(self, h: int) -> float:
         return self._level
 
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._level)
+
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         _, fitted = self._smooth(y)
         return fitted
@@ -380,6 +468,9 @@ class DriftForecaster(Forecaster):
 
     def _point_forecast(self, h: int) -> float:
         return self._last + h * self._drift
+
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        return self._last + np.arange(1, horizon + 1, dtype=float) * self._drift
 
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         fitted = y.astype(float).copy()
@@ -419,6 +510,10 @@ class EnsembleForecaster(Forecaster):
     def _point_forecast(self, h: int) -> float:
         assert self.selected is not None
         return self.selected._point_forecast(h)
+
+    def _point_forecast_path(self, horizon: int) -> np.ndarray:
+        assert self.selected is not None
+        return self.selected._point_forecast_path(horizon)
 
     def _fitted_values(self, y: np.ndarray) -> np.ndarray:
         assert self.selected is not None

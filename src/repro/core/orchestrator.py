@@ -642,6 +642,19 @@ class Orchestrator:
         )
         return decision.fraction
 
+    def cold_start_fractions(self, requests: List[SliceRequest]) -> List[float]:
+        """Cold-start overbooking posture for a whole decision window.
+
+        One policy call covers every request, so forecast-driven
+        policies run their (shared) quantile math once per window
+        instead of once per request.
+        """
+        decisions = self.overbooking.decide_window(
+            [(r.request_id, r.sla.throughput_mbps) for r in requests],
+            forecaster=None,
+        )
+        return [decision.fraction for decision in decisions]
+
     def shrunk_demand(self, request: SliceRequest, fraction: float) -> ResourceVector:
         """Multi-domain demand with the overbooking shrinkage applied.
 

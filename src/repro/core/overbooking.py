@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.forecasting import Forecaster
 from repro.monitoring.timeseries import TimeSeries
@@ -75,6 +75,22 @@ class OverbookingPolicy(ABC):
         forecaster: Optional[Forecaster] = None,
     ) -> OverbookingDecision:
         """Compute the effective commitment for a slice."""
+
+    def decide_window(
+        self,
+        requests: Sequence[Tuple[str, float]],
+        forecaster: Optional[Forecaster] = None,
+    ) -> List[OverbookingDecision]:
+        """Effective commitments for a whole decision window.
+
+        Policies whose shrinkage depends only on the (shared) forecast
+        override this to run the quantile math once per window instead
+        of once per request; the default simply loops :meth:`decide`.
+
+        Args:
+            requests: ``(slice_id, nominal)`` pairs of the window.
+        """
+        return [self.decide(sid, nominal, forecaster) for sid, nominal in requests]
 
     def _clamp(self, slice_id: str, nominal: float, effective: float) -> OverbookingDecision:
         effective = min(nominal, max(self.MIN_FRACTION * nominal, effective))
@@ -148,6 +164,26 @@ class ForecastOverbooking(OverbookingPolicy):
         predicted = forecaster.forecast_quantile(self.horizon, self.quantile)
         return self._clamp(slice_id, nominal, predicted)
 
+    def decide_window(
+        self,
+        requests: Sequence[Tuple[str, float]],
+        forecaster: Optional[Forecaster] = None,
+    ) -> List[OverbookingDecision]:
+        """One quantile forecast shared by the whole window.
+
+        The shrinkage target depends only on the forecaster, so it is
+        computed once and clamped per request — identical decisions to
+        calling :meth:`decide` per request, minus the per-request
+        quantile recomputation.
+        """
+        if forecaster is None:
+            return [
+                OverbookingDecision(slice_id=sid, nominal=nominal, effective=nominal)
+                for sid, nominal in requests
+            ]
+        predicted = forecaster.forecast_quantile(self.horizon, self.quantile)
+        return [self._clamp(sid, nominal, predicted) for sid, nominal in requests]
+
 
 class AdaptiveOverbooking(OverbookingPolicy):
     """Feedback controller trading multiplexing gain against violations.
@@ -214,6 +250,13 @@ class AdaptiveOverbooking(OverbookingPolicy):
         forecaster: Optional[Forecaster] = None,
     ) -> OverbookingDecision:
         return self._inner.decide(slice_id, nominal, forecaster)
+
+    def decide_window(
+        self,
+        requests: Sequence[Tuple[str, float]],
+        forecaster: Optional[Forecaster] = None,
+    ) -> List[OverbookingDecision]:
+        return self._inner.decide_window(requests, forecaster)
 
 
 class MultiplexingGainTracker:

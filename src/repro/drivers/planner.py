@@ -804,6 +804,10 @@ class BatchInstallPlanner:
         # *its* thread — completion threads must never touch the event
         # feed directly.
         self._pending_events: List[Tuple[str, Dict[str, Any]]] = []
+        # prepare_waves cache: jobs call it from completion threads.
+        self._waves_lock = threading.Lock()
+        self._waves_cache: Dict[Tuple[str, ...], List[List[str]]] = {}
+        self._waves_seen_version = -1
 
     # ------------------------------------------------------------------
     # Planning
@@ -821,7 +825,27 @@ class BatchInstallPlanner:
         every driver's declared ``prepare_after`` dependencies
         (dependencies outside ``domains`` are treated as satisfied; a
         dependency cycle degrades to registry order rather than
-        deadlocking)."""
+        deadlocking).
+
+        The partition only depends on the domain list and the drivers'
+        declared capabilities, so it is cached per domains-tuple and
+        invalidated by the registry's ``version`` counter — every job
+        of every attempt in a window used to recompute it from scratch.
+        """
+        key = tuple(domains)
+        with self._waves_lock:
+            if self.registry.version != self._waves_seen_version:
+                self._waves_cache.clear()
+                self._waves_seen_version = self.registry.version
+            cached = self._waves_cache.get(key)
+        if cached is not None:
+            return [list(wave) for wave in cached]
+        waves = self._compute_prepare_waves(domains)
+        with self._waves_lock:
+            self._waves_cache[key] = [list(wave) for wave in waves]
+        return waves
+
+    def _compute_prepare_waves(self, domains: Sequence[str]) -> List[List[str]]:
         remaining = list(domains)
         present = set(remaining)
         placed: set = set()

@@ -34,6 +34,9 @@ class DriverRegistry:
     def __init__(self, drivers: Optional[List[DomainDriver]] = None) -> None:
         self._drivers: Dict[str, DomainDriver] = {}
         self._lock = threading.RLock()
+        #: Bumped on every register/unregister — lets callers (the batch
+        #: planner's prepare-wave cache) invalidate derived plans cheaply.
+        self.version = 0
         for driver in drivers or []:
             self.register(driver)
 
@@ -58,6 +61,7 @@ class DriverRegistry:
             if previous is not None and not replace:
                 raise DriverError(domain, "domain already registered")
             self._drivers[domain] = driver
+            self.version += 1
             return previous if previous is not None else driver
 
     def unregister(self, domain: str) -> DomainDriver:
@@ -68,9 +72,11 @@ class DriverRegistry:
         """
         with self._lock:
             try:
-                return self._drivers.pop(domain)
+                driver = self._drivers.pop(domain)
             except KeyError:
                 raise DriverError(domain, "domain not registered") from None
+            self.version += 1
+            return driver
 
     def get(self, domain: str) -> DomainDriver:
         """Lookup the driver serving ``domain``.

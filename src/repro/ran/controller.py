@@ -9,8 +9,9 @@ monitoring epoch and reports delivered throughput per slice.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.slices import PLMN
 from repro.ran.enb import ENodeB, RanConfigError
@@ -55,15 +56,28 @@ class PlannedCellLoad:
         self.slices += 1
 
 
-_NO_PLANNED_LOAD = PlannedCellLoad()
-
-
 class RanController:
     """Controller managing a fleet of eNBs."""
 
     def __init__(self, enbs: Optional[List[ENodeB]] = None) -> None:
         self._enbs: Dict[str, ENodeB] = {}
         self._placement: Dict[str, str] = {}  # slice_id -> enb_id
+        # Delta-maintained free-capacity index: ``_index`` is a sorted
+        # list of ``(free_prbs, -seq, enb_id)`` entries (one per cell,
+        # ascending), where ``seq`` is the cell's registration order so
+        # ties resolve exactly like the historical full scan (earliest
+        # registered cell wins).  ``_entry`` maps each cell to its
+        # current index entry, ``_total_free`` is the running fleet-wide
+        # free-PRB sum.  Updated via each cell's ``on_change`` hook, so
+        # direct eNB mutations keep the index fresh too.
+        self._index: List[Tuple[int, int, str]] = []
+        self._entry: Dict[str, Tuple[int, int, str]] = {}
+        self._seq: Dict[str, int] = {}
+        self._total_free = 0
+        #: Bumped whenever a cell is registered; consumers caching
+        #: derived per-cell state (the allocator's uplink aggregates)
+        #: use it to notice fleet growth cheaply.
+        self.inventory_version = 0
         #: Serialization lock for this controller: the methods here are
         #: not thread-safe, so every concurrent caller (the RAN driver
         #: under the batch install planner, or any direct user) must
@@ -81,6 +95,66 @@ class RanController:
         if enb.enb_id in self._enbs:
             raise RanConfigError(f"duplicate eNB id {enb.enb_id}")
         self._enbs[enb.enb_id] = enb
+        seq = len(self._seq)
+        self._seq[enb.enb_id] = seq
+        entry = (enb.grid.free_prbs, -seq, enb.enb_id)
+        insort(self._index, entry)
+        self._entry[enb.enb_id] = entry
+        self._total_free += entry[0]
+        self.inventory_version += 1
+        enb.on_change = lambda enb_id=enb.enb_id: self._index_update(enb_id)
+
+    def _index_update(self, enb_id: str) -> None:
+        """Re-slot one cell in the free-capacity index after a mutation."""
+        enb = self._enbs[enb_id]
+        old = self._entry[enb_id]
+        free = enb.grid.free_prbs
+        if free == old[0]:
+            return
+        self._index.pop(bisect_left(self._index, old))
+        entry = (free, old[1], enb_id)
+        insort(self._index, entry)
+        self._entry[enb_id] = entry
+        self._total_free += free - old[0]
+
+    def rebuild_index(self) -> None:
+        """Rebuild the free-capacity index from scratch (recovery aid)."""
+        self._index = []
+        self._entry = {}
+        self._total_free = 0
+        for enb_id, enb in self._enbs.items():
+            entry = (enb.grid.free_prbs, -self._seq[enb_id], enb_id)
+            insort(self._index, entry)
+            self._entry[enb_id] = entry
+            self._total_free += entry[0]
+
+    def verify_index(self) -> None:
+        """Cross-check the delta-maintained index against a recompute.
+
+        Raises:
+            RanConfigError: If any index entry, the sort order, or the
+                running free-PRB total drifted from ground truth.
+        """
+        if sorted(self._index) != self._index:
+            raise RanConfigError("free-capacity index is out of order")
+        if len(self._index) != len(self._enbs) or len(self._entry) != len(self._enbs):
+            raise RanConfigError("free-capacity index size drifted from inventory")
+        total = 0
+        for enb_id, enb in self._enbs.items():
+            free = enb.grid.free_prbs
+            total += free
+            expected = (free, -self._seq[enb_id], enb_id)
+            if self._entry.get(enb_id) != expected:
+                raise RanConfigError(
+                    f"index entry for {enb_id} is {self._entry.get(enb_id)}, "
+                    f"expected {expected}"
+                )
+            if self._index[bisect_left(self._index, expected)] != expected:
+                raise RanConfigError(f"index entry for {enb_id} missing from sorted list")
+        if total != self._total_free:
+            raise RanConfigError(
+                f"running free-PRB total {self._total_free} drifted from {total}"
+            )
 
     def enb(self, enb_id: str) -> ENodeB:
         """Lookup a cell by id."""
@@ -104,6 +178,14 @@ class RanController:
         """Per-cell physically free PRBs."""
         return {enb_id: enb.grid.free_prbs for enb_id, enb in self._enbs.items()}
 
+    def total_free_prbs(self) -> int:
+        """Fleet-wide free PRBs — O(1) via the running total."""
+        return self._total_free
+
+    def max_free_prbs(self) -> int:
+        """Largest per-cell free-PRB count — O(1) via the sorted index."""
+        return self._index[-1][0] if self._index else 0
+
     def best_enb_for(
         self,
         throughput_mbps: float,
@@ -116,6 +198,13 @@ class RanController:
         least ``effective_prbs`` free PRBs.  Returns None when no cell
         qualifies (the admission engine then rejects on the RAN domain).
 
+        Answered from the delta-maintained sorted index: staged
+        (``planned``) cells are evaluated individually with their
+        pending adjustment, then the index is walked from the top and
+        stops at the first unencumbered cell with a free PLMN slot.
+        Ties on free PRBs resolve to the earliest-registered cell,
+        exactly like the historical full scan.
+
         Args:
             planned: Load already promised to not-yet-installed slices,
                 per cell — the batch install planner stages a whole
@@ -125,14 +214,31 @@ class RanController:
         """
         planned = planned or {}
         best: Optional[str] = None
-        best_free = -1
-        for enb_id, enb in self._enbs.items():
-            pending = planned.get(enb_id, _NO_PLANNED_LOAD)
-            if len(enb.installed_slices()) + pending.slices >= enb.max_plmns:
+        best_key: Optional[Tuple[int, int]] = None  # (free, -seq), max wins
+        for enb_id, pending in planned.items():
+            enb = self._enbs.get(enb_id)
+            if enb is None:
+                continue
+            if enb.installed_count() + pending.slices >= enb.max_plmns:
                 continue
             free = enb.grid.free_prbs - pending.prbs
-            if free >= effective_prbs and free > best_free:
-                best, best_free = enb_id, free
+            if free < effective_prbs:
+                continue
+            key = (free, -self._seq[enb_id])
+            if best_key is None or key > best_key:
+                best, best_key = enb_id, key
+        for free, neg_seq, enb_id in reversed(self._index):
+            if free < effective_prbs:
+                break
+            if best_key is not None and (free, neg_seq) <= best_key:
+                break
+            if enb_id in planned:
+                continue
+            enb = self._enbs[enb_id]
+            if enb.installed_count() >= enb.max_plmns:
+                continue
+            best = enb_id
+            break
         return best
 
     # ------------------------------------------------------------------
@@ -223,7 +329,7 @@ class RanController:
         nominal = enb.prbs_for_throughput(new_throughput_mbps)
         effective = max(1, round(nominal * effective_fraction))
         try:
-            enb.grid.renominate(slice_id, nominal, effective)
+            enb.renominate_slice(slice_id, nominal, effective)
         except Exception as exc:
             raise RanConfigError(str(exc)) from exc
         return RanAllocation(

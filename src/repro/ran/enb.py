@@ -11,7 +11,7 @@ attach.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.slices import PLMN
 from repro.ran.channel import throughput_per_prb_mbps
@@ -55,6 +55,15 @@ class ENodeB:
         self.transport_node = transport_node or f"{enb_id}-agg"
         self._broadcast: Dict[str, PLMN] = {}  # slice_id -> PLMN
         self._ues: Dict[str, List[UserEquipment]] = {}  # slice_id -> UEs
+        #: Invoked after every mutation that changes the cell's free
+        #: capacity or PLMN occupancy.  The owning RanController hooks
+        #: this to keep its free-capacity index delta-maintained even
+        #: for callers that mutate the cell directly.
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     # ------------------------------------------------------------------
     # Dimensioning helpers
@@ -106,12 +115,21 @@ class ENodeB:
         self.grid.reserve(slice_id, nominal_prbs, effective_prbs)
         self._broadcast[slice_id] = plmn
         self._ues.setdefault(slice_id, [])
+        self._changed()
 
     def resize_slice(self, slice_id: str, effective_prbs: int) -> None:
         """Adjust the slice's effective PRB share (overbooking knob)."""
         if slice_id not in self._broadcast:
             raise RanConfigError(f"slice {slice_id} not installed on {self.enb_id}")
         self.grid.resize(slice_id, effective_prbs)
+        self._changed()
+
+    def renominate_slice(self, slice_id: str, nominal_prbs: int, effective_prbs: int) -> None:
+        """Re-dimension the slice's reservation (tenant-requested scaling)."""
+        if slice_id not in self._broadcast:
+            raise RanConfigError(f"slice {slice_id} not installed on {self.enb_id}")
+        self.grid.renominate(slice_id, nominal_prbs, effective_prbs)
+        self._changed()
 
     def remove_slice(self, slice_id: str) -> None:
         """Stop broadcasting the slice's PLMN and free its PRBs."""
@@ -123,10 +141,15 @@ class ENodeB:
         del self._broadcast[slice_id]
         self._ues.pop(slice_id, None)
         self.grid.release(slice_id)
+        self._changed()
 
     def installed_slices(self) -> List[str]:
         """Slice ids installed on this cell."""
         return list(self._broadcast)
+
+    def installed_count(self) -> int:
+        """Number of slices installed on this cell (O(1))."""
+        return len(self._broadcast)
 
     # ------------------------------------------------------------------
     # UEs

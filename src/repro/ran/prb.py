@@ -77,6 +77,11 @@ class PrbGrid:
         self.bandwidth_mhz = float(bandwidth_mhz)
         self.total_prbs = prbs_for_bandwidth(bandwidth_mhz)
         self._reservations: Dict[str, PrbReservation] = {}
+        # Running totals maintained by every mutation so the hot-path
+        # queries below are O(1) instead of O(#slices).
+        # ``check_invariants`` recomputes and cross-checks them.
+        self._effective_sum = 0
+        self._nominal_sum = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -84,12 +89,12 @@ class PrbGrid:
     @property
     def effective_reserved(self) -> int:
         """PRBs committed after overbooking shrinkage."""
-        return sum(r.effective for r in self._reservations.values())
+        return self._effective_sum
 
     @property
     def nominal_reserved(self) -> int:
         """PRBs the SLAs nominally imply (may exceed the physical budget)."""
-        return sum(r.nominal for r in self._reservations.values())
+        return self._nominal_sum
 
     @property
     def free_prbs(self) -> int:
@@ -139,6 +144,8 @@ class PrbGrid:
                 f"{self.total_prbs} free"
             )
         self._reservations[slice_id] = reservation
+        self._effective_sum += effective
+        self._nominal_sum += nominal
         return reservation
 
     def resize(self, slice_id: str, effective: int) -> None:
@@ -160,6 +167,7 @@ class PrbGrid:
                 f"resize to {effective} PRBs does not fit ({self.total_prbs - others} free)"
             )
         self._reservations[slice_id] = PrbReservation(slice_id, current.nominal, effective)
+        self._effective_sum += effective - current.effective
 
     def renominate(self, slice_id: str, nominal: int, effective: int) -> PrbReservation:
         """Replace the slice's reservation with a new nominal size.
@@ -181,6 +189,8 @@ class PrbGrid:
                 f"({self.total_prbs - others} free)"
             )
         self._reservations[slice_id] = replacement
+        self._effective_sum += effective - current.effective
+        self._nominal_sum += nominal - current.nominal
         return replacement
 
     def release(self, slice_id: str) -> None:
@@ -191,10 +201,24 @@ class PrbGrid:
         """
         if slice_id not in self._reservations:
             raise PrbError(f"slice {slice_id} holds no PRBs on this carrier")
-        del self._reservations[slice_id]
+        current = self._reservations.pop(slice_id)
+        self._effective_sum -= current.effective
+        self._nominal_sum -= current.nominal
 
     def check_invariants(self) -> None:
-        """Assert the physical-budget invariant (used by property tests)."""
+        """Assert the physical-budget invariant (used by property tests).
+
+        Also recomputes the delta-maintained totals from scratch and
+        fails if they drifted from ground truth.
+        """
+        effective = sum(r.effective for r in self._reservations.values())
+        nominal = sum(r.nominal for r in self._reservations.values())
+        if effective != self._effective_sum or nominal != self._nominal_sum:
+            raise PrbError(
+                f"invariant violated: running totals "
+                f"(eff={self._effective_sum}, nom={self._nominal_sum}) drifted "
+                f"from recomputed (eff={effective}, nom={nominal})"
+            )
         if self.effective_reserved > self.total_prbs:
             raise PrbError(
                 f"invariant violated: {self.effective_reserved} effective PRBs "

@@ -162,7 +162,25 @@ def _read_records(path: str, after_lsn: int = 0) -> List[JournalRecord]:
 
 
 class Journal:
-    """Thread-safe append-only JSONL journal with monotonic LSNs."""
+    """Thread-safe append-only JSONL journal with monotonic LSNs.
+
+    Args:
+        path: Journal file; created on first append, reopened (with
+            torn-tail repair) when it already exists.
+        fsync_every: Group-commit granularity — fsync once every N
+            appends.  ``1`` fsyncs every record (full synchronous
+            durability); ``0`` is an **explicit opt-out sentinel**: no
+            append ever fsyncs, so an OS or power failure can lose every
+            record since the last explicit :meth:`sync` (a process crash
+            still loses nothing — appends always flush to the OS).
+            :meth:`sync` and :meth:`close` fsync regardless of the
+            sentinel.  Choose ``0`` only for throwaway stores
+            (benchmarks, simulations replayed from scratch); negative
+            values raise :class:`JournalError`.
+
+    Raises:
+        JournalError: If ``fsync_every`` is negative.
+    """
 
     def __init__(self, path: str, fsync_every: int = 32) -> None:
         if fsync_every < 0:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.transport.links import LinkError
 from repro.transport.paths import (
@@ -65,6 +65,26 @@ class TransportController:
         }
         self._paths: Dict[str, TransportAllocation] = {}  # slice_id -> allocation
         self._plmns: Dict[str, str] = {}  # slice_id -> plmn_id (for re-programming)
+        # Last feasible path found per (src, dst): the feasibility probe
+        # revalidates it against the live links (up, residual, delay)
+        # before answering, and only falls back to a full CSPF search
+        # when the remembered path no longer satisfies the request — so
+        # the admission hot path usually costs O(path length), not
+        # O(E log V).  Never consulted without revalidation, so stale
+        # entries cannot produce a wrong answer.
+        self._known_paths: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        # Exact-result CSPF cache: full search results keyed by the
+        # complete request, invalidated wholesale the moment *any* link
+        # mutates (the topology's dirty-node feed covers direct
+        # ``link.fail()``/``reserve()`` calls too).  Between mutations
+        # the topology is immutable, so a hit returns byte-for-byte what
+        # the search would — unlike ``_known_paths`` this needs no
+        # revalidation, and unlike a TTL it can never serve a stale
+        # answer.
+        self._exact_dirty = topology.subscribe_dirty()
+        self._exact_paths: Dict[
+            Tuple[str, str, float, float], ComputedPath
+        ] = {}
         self._port_counter: Dict[str, int] = {}
         self.repairs_performed = 0
         #: Serialization lock for this controller: the methods here are
@@ -89,12 +109,57 @@ class TransportController:
         return self._paths.get(slice_id)
 
     def feasible(self, request: PathRequest) -> bool:
-        """Whether *some* path currently satisfies the request."""
-        try:
-            constrained_shortest_path(self.topology, request)
+        """Whether *some* path currently satisfies the request.
+
+        Fast path: the last path found for this (src, dst) pair is
+        revalidated against live link state; a full CSPF search only
+        runs when it no longer satisfies the request.
+        """
+        cached = self._known_paths.get((request.src, request.dst))
+        if cached is not None and self._path_satisfies(cached, request):
             return True
+        try:
+            path = self._search(request)
         except PathComputationError:
             return False
+        self._known_paths[(request.src, request.dst)] = path.link_ids
+        return True
+
+    def _search(self, request: PathRequest) -> ComputedPath:
+        """CSPF with the exact-result cache (see ``_exact_paths``).
+
+        Raises:
+            PathComputationError: If no feasible path exists.
+        """
+        if self._exact_dirty:
+            self._exact_paths.clear()
+            self._exact_dirty.clear()
+        key = (
+            request.src,
+            request.dst,
+            request.min_bandwidth_mbps,
+            request.max_delay_ms,
+        )
+        cached = self._exact_paths.get(key)
+        if cached is not None:
+            return cached
+        path = constrained_shortest_path(self.topology, request)
+        self._exact_paths[key] = path
+        return path
+
+    def _path_satisfies(self, link_ids: Tuple[str, ...], request: PathRequest) -> bool:
+        """Whether a concrete link sequence meets the request right now."""
+        delay = 0.0
+        topo = self.topology
+        for link_id in link_ids:
+            try:
+                link = topo.link(link_id)
+            except Exception:
+                return False
+            if not link.up or link.residual_mbps < request.min_bandwidth_mbps - 1e-9:
+                return False
+            delay += link.delay_ms
+        return delay <= request.max_delay_ms + 1e-9
 
     def candidate_paths(self, request: PathRequest, k: int = 3) -> List[ComputedPath]:
         """Up to ``k`` feasible paths, delay-ranked (for what-if analysis)."""
@@ -134,7 +199,7 @@ class TransportController:
             max_delay_ms=request.max_delay_ms,
         )
         try:
-            path = constrained_shortest_path(self.topology, probe)
+            path = self._search(probe)
         except PathComputationError as exc:
             raise TransportError(str(exc)) from exc
         # Reserve on every link, rolling back on failure so a half-made
@@ -158,6 +223,7 @@ class TransportController:
         )
         self._paths[slice_id] = allocation
         self._plmns[slice_id] = plmn_id
+        self._known_paths[(request.src, request.dst)] = path.link_ids
         self._program_flows(slice_id, plmn_id, path)
         return allocation
 

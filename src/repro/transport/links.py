@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 
 class LinkError(RuntimeError):
@@ -89,6 +89,22 @@ class Link:
             raise LinkError(f"delay cannot be negative, got {self.delay_ms}")
         self.state = LinkState.UP
         self._reservations: Dict[str, Reservation] = {}
+        # Running totals so the accounting properties are O(1) instead
+        # of O(#reservations); reset to exact zero whenever the link
+        # empties so float drift cannot accumulate across slice churn.
+        self._effective_sum = 0.0
+        self._nominal_sum = 0.0
+        #: Invoked (with the link's source node) after every mutation
+        #: that changes residual capacity or operational state.  The
+        #: owning Topology hooks this to feed its dirty-node tracking.
+        self.on_change: Optional[Callable[[str], None]] = None
+
+    def _changed(self) -> None:
+        if not self._reservations:
+            self._effective_sum = 0.0
+            self._nominal_sum = 0.0
+        if self.on_change is not None:
+            self.on_change(self.src)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -96,12 +112,12 @@ class Link:
     @property
     def effective_reserved_mbps(self) -> float:
         """Bandwidth committed after overbooking shrinkage."""
-        return sum(r.effective_mbps for r in self._reservations.values())
+        return self._effective_sum
 
     @property
     def nominal_reserved_mbps(self) -> float:
         """Bandwidth the SLAs nominally imply."""
-        return sum(r.nominal_mbps for r in self._reservations.values())
+        return self._nominal_sum
 
     @property
     def residual_mbps(self) -> float:
@@ -132,6 +148,9 @@ class Link:
                 f"only {self.residual_mbps:.1f} free"
             )
         self._reservations[slice_id] = reservation
+        self._effective_sum += effective_mbps
+        self._nominal_sum += nominal_mbps
+        self._changed()
 
     def resize(self, slice_id: str, effective_mbps: float) -> None:
         """Adjust the slice's effective reservation (overbooking knob)."""
@@ -148,6 +167,8 @@ class Link:
         self._reservations[slice_id] = Reservation(
             slice_id, current.nominal_mbps, effective_mbps
         )
+        self._effective_sum += effective_mbps - current.effective_mbps
+        self._changed()
 
     def renominate(self, slice_id: str, nominal_mbps: float, effective_mbps: float) -> None:
         """Replace the slice's reservation with a new nominal bandwidth
@@ -166,12 +187,18 @@ class Link:
         if others + effective_mbps > self.capacity_mbps + 1e-9:
             raise LinkError(f"renominate does not fit on {self.link_id}")
         self._reservations[slice_id] = replacement
+        self._effective_sum += effective_mbps - current.effective_mbps
+        self._nominal_sum += nominal_mbps - current.nominal_mbps
+        self._changed()
 
     def release(self, slice_id: str) -> None:
         """Drop the slice's reservation."""
         if slice_id not in self._reservations:
             raise LinkError(f"slice {slice_id} holds no reservation on {self.link_id}")
-        del self._reservations[slice_id]
+        current = self._reservations.pop(slice_id)
+        self._effective_sum -= current.effective_mbps
+        self._nominal_sum -= current.nominal_mbps
+        self._changed()
 
     def has(self, slice_id: str) -> bool:
         """Whether the slice reserves bandwidth here."""
@@ -184,10 +211,28 @@ class Link:
     def fail(self) -> None:
         """Failure injection: mark the link down (reservations survive)."""
         self.state = LinkState.DOWN
+        self._changed()
 
     def restore(self) -> None:
         """Bring a failed link back up."""
         self.state = LinkState.UP
+        self._changed()
+
+    def check_invariants(self) -> None:
+        """Cross-check the running totals against a recompute.
+
+        Raises:
+            LinkError: If the delta-maintained sums drifted from ground
+                truth by more than float tolerance.
+        """
+        effective = sum(r.effective_mbps for r in self._reservations.values())
+        nominal = sum(r.nominal_mbps for r in self._reservations.values())
+        if abs(effective - self._effective_sum) > 1e-6 or abs(nominal - self._nominal_sum) > 1e-6:
+            raise LinkError(
+                f"link {self.link_id}: running totals "
+                f"(eff={self._effective_sum}, nom={self._nominal_sum}) drifted "
+                f"from recomputed (eff={effective}, nom={nominal})"
+            )
 
     def utilization(self) -> dict:
         """Telemetry snapshot for the transport controller."""

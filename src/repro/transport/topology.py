@@ -25,6 +25,28 @@ class Topology:
         self._nodes: Set[str] = set()
         self._links: Dict[str, Link] = {}
         self._out: Dict[str, List[str]] = {}  # node -> link_ids
+        # Dirty-node tracking: every link mutation (reserve/resize/
+        # release/fail/restore, including direct calls that bypass the
+        # TransportController) marks the link's source node in every
+        # subscriber set, so consumers caching per-node aggregates can
+        # revalidate only what changed.
+        self._dirty_subscribers: List[Set[str]] = []
+
+    def subscribe_dirty(self) -> Set[str]:
+        """Register and return a dirty-node set fed by link mutations.
+
+        The caller owns the returned set: drain it (``set.clear`` or
+        ``pop``) after refreshing whatever it caches per node.  Sets are
+        deduplicating, so an idle consumer holds at most one entry per
+        node.
+        """
+        dirty: Set[str] = set()
+        self._dirty_subscribers.append(dirty)
+        return dirty
+
+    def _mark_dirty(self, node: str) -> None:
+        for subscriber in self._dirty_subscribers:
+            subscriber.add(node)
 
     # ------------------------------------------------------------------
     # Construction
@@ -46,6 +68,8 @@ class Topology:
         self.add_node(link.dst)
         self._links[link.link_id] = link
         self._out[link.src].append(link.link_id)
+        link.on_change = self._mark_dirty
+        self._mark_dirty(link.src)
 
     def add_duplex(
         self,

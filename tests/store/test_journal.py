@@ -71,6 +71,52 @@ class TestAppend:
             Journal(path, fsync_every=-1)
 
 
+class TestFsyncSentinel:
+    """``fsync_every=0`` is an explicit opt-out: appends never fsync,
+    but explicit ``sync()``/``close()`` still do, and every record
+    remains readable (appends always flush to the OS)."""
+
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            calls.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        return calls
+
+    def test_zero_never_fsyncs_on_append(self, path, fsync_calls):
+        journal = Journal(path, fsync_every=0)
+        for i in range(100):
+            journal.append(f"t.{i}")
+        assert fsync_calls == []
+        # The opt-out trades durability, not readability: a second
+        # reader still sees every flushed record.
+        assert len(Journal(path).records()) == 100
+
+    def test_explicit_sync_still_fsyncs(self, path, fsync_calls):
+        journal = Journal(path, fsync_every=0)
+        journal.append("a")
+        assert fsync_calls == []
+        journal.sync()
+        assert len(fsync_calls) == 1
+
+    def test_close_still_fsyncs(self, path, fsync_calls):
+        journal = Journal(path, fsync_every=0)
+        journal.append("a")
+        journal.close()
+        assert len(fsync_calls) == 1
+
+    def test_one_fsyncs_every_append(self, path, fsync_calls):
+        journal = Journal(path, fsync_every=1)
+        journal.append("a")
+        journal.append("b")
+        assert len(fsync_calls) == 2
+
+
 class TestCrashTolerance:
     def test_torn_tail_ignored(self, path):
         journal = Journal(path)

@@ -1,0 +1,90 @@
+"""D13 — mobility + failure scenario packs score clean.
+
+The scenario engine (``src/repro/scenarios/``) compiles commuter-tide
+and vehicular-corridor mobility into orchestrator traffic (zone-slice
+submits + handover-driven rescale storms) and overlays scheduled
+DC/link/eNB outages with restoration.  This benchmark runs the built-in
+packs at a fixed seed and asserts the survivability contract the CI
+gate publishes:
+
+* zero lost slices and zero leaked reservations after every pack
+  (outage + heal + restore must be conservation-safe end to end);
+* every scheduled outage converges (service healthy again inside the
+  horizon) — by re-route when a detour exists, by restoration when the
+  struck attachment has none;
+* the run is deterministic: same pack + seed ⇒ same report digest.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import build_named, run_named, run_scenario
+
+from benchmarks.conftest import emit_table
+
+SEED = 42
+
+#: Packs the benchmark sweeps (smoke variant keeps the suite fast; the
+#: full commuter-failure pack runs in the nightly scenario job).
+PACKS = ("commuter-failure-smoke", "vehicular-corridor")
+
+
+def run_pack(name: str, seed: int = SEED):
+    return run_named(name, seed=seed)
+
+
+def test_d13_scenario_packs(benchmark):
+    rows = []
+    reports = {}
+    for name in PACKS:
+        report = run_pack(name)
+        reports[name] = report
+        rows.append(
+            [
+                name,
+                f"{report.admitted}/{report.submitted}",
+                report.handovers,
+                f"{report.rescales_applied}/{report.rescales_attempted}",
+                round(report.violation_rate, 4),
+                f"{report.outages_healed}/{report.outages}",
+                round(report.heal_convergence_max_s, 0),
+                len(report.lost_slices),
+                len(report.leaked_reservations),
+            ]
+        )
+    emit_table(
+        "D13",
+        f"scenario packs (seed {SEED})",
+        [
+            "pack",
+            "admitted",
+            "handovers",
+            "rescales",
+            "viol_rate",
+            "healed",
+            "conv_max_s",
+            "lost",
+            "leaked",
+        ],
+        rows,
+    )
+    for name, report in reports.items():
+        assert report.clean, (
+            f"{name}: lost={report.lost_slices} "
+            f"leaked={report.leaked_reservations}"
+        )
+        assert report.outages_healed == report.outages, (
+            f"{name}: {report.outages_healed}/{report.outages} outages healed"
+        )
+        assert report.handovers > 0 and report.admitted > 0
+    # The DC outage in the commuter pack has no detour: its convergence
+    # must reflect waiting out the restoration, not a silent no-op.
+    smoke = reports["commuter-failure-smoke"]
+    dc = next(o for o in smoke.outage_detail if o["kind"] == "dc")
+    assert dc["convergence_s"] >= dc["end_s"] - dc["start_s"], (
+        f"dc outage converged in {dc['convergence_s']}s — before restoration"
+    )
+    # Determinism: the digest is a pure function of (spec, seed).
+    again = run_pack("commuter-failure-smoke")
+    assert again.digest == smoke.digest
+    # Timed kernel: the smoke pack end to end (spec build + run + score).
+    benchmark(lambda: run_scenario(build_named("commuter-failure-smoke", seed=SEED)))

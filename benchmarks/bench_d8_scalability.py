@@ -138,7 +138,11 @@ def run_scale_measured(
     noisy-neighbour spike, where a single-run mean is not.
 
     Returns ``{"enbs", "requests", "admitted", "runs", "wall_s",
-    "ms_per_request", "per_run_ms"}``.
+    "ms_per_request", "per_run_ms", "sampled"}``.  ``sampled`` is False
+    when even ``max_runs`` accumulated seeds could not reach the
+    request floor (e.g. a smoke run with a tiny horizon): the median is
+    then tagged as noise so downstream gates can exclude it instead of
+    reading a 1-request "median" as a measurement.
     """
     per_run_ms = []
     requests = admitted = 0
@@ -173,6 +177,7 @@ def run_scale_measured(
         "wall_s": wall,
         "ms_per_request": median_ms,
         "per_run_ms": per_run_ms,
+        "sampled": requests >= min_requests,
     }
 
 

@@ -5,6 +5,8 @@ code:
 
 - ``demo`` — replay a demo-like session and print the dashboard,
 - ``scenario`` — run one configurable workload and print its result row,
+- ``scenarios`` — run/list the mobility+failure scenario packs
+  (``repro scenarios run commuter-failure --seed 42``),
 - ``sweep`` — sweep the overbooking factor and print the D2-style table,
 - ``experiments`` — list the benchmark experiments and their claims.
 """
@@ -44,6 +46,7 @@ EXPERIMENTS = [
     ("D8", "bench_d8_scalability.py", "orchestrator scalability"),
     ("D9", "bench_d9_batch_window.py", "batch-window broker ablation"),
     ("D10", "bench_d10_self_healing.py", "transport self-healing ablation"),
+    ("D13", "bench_d13_scenarios.py", "mobility+failure scenario packs score clean"),
 ]
 
 
@@ -93,6 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--overbooking", type=_make_overbooking, default=NoOverbooking())
     scenario.add_argument("--mix", type=_make_mix, default=None)
     scenario.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="mobility+failure scenario packs (scenario engine)"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="run one pack and print its ScenarioReport"
+    )
+    scenarios_run.add_argument("name", help="pack name, or a path to a spec JSON file")
+    scenarios_run.add_argument("--seed", type=int, default=0)
+    scenarios_run.add_argument(
+        "--horizon", type=float, default=None, help="override the horizon (seconds)"
+    )
+    scenarios_run.add_argument(
+        "--out", default=None, help="also write the full report JSON to this path"
+    )
+    scenarios_run.add_argument(
+        "--json", action="store_true", help="emit the report JSON on stdout"
+    )
+    scenarios_sub.add_parser("list", help="list the built-in packs")
 
     sweep = sub.add_parser("sweep", help="sweep the overbooking factor (D2 table)")
     sweep.add_argument("--hours", type=float, default=2.0)
@@ -218,6 +241,60 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.scenarios import (
+        ScenarioError,
+        build_named,
+        load_scenario_file,
+        named_scenarios,
+        run_scenario,
+    )
+    from repro.scenarios.spec import ScenarioSpec
+
+    if args.scenarios_command == "list":
+        from repro.scenarios.spec import _NAMED
+
+        rows = [
+            [name, _NAMED[name](0).mobility.model, len(_NAMED[name](0).failures)]
+            for name in named_scenarios()
+        ]
+        print(format_table(["pack", "mobility", "failures"], rows))
+        return 0
+
+    try:
+        if os.path.exists(args.name) or args.name.endswith(".json"):
+            spec = load_scenario_file(args.name)
+            payload = spec.to_dict()
+            payload["seed"] = args.seed
+            spec = ScenarioSpec.from_dict(payload)
+        else:
+            spec = build_named(args.name, seed=args.seed)
+        if args.horizon is not None:
+            payload = spec.to_dict()
+            payload["horizon_s"] = args.horizon
+            spec = ScenarioSpec.from_dict(payload)
+    except (ScenarioError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = run_scenario(spec)
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    # Non-zero exit when the run is dirty, so CI smokes fail loudly.
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -225,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "demo": cmd_demo,
         "scenario": cmd_scenario,
+        "scenarios": cmd_scenarios,
         "sweep": cmd_sweep,
         "experiments": cmd_experiments,
     }

@@ -1,0 +1,138 @@
+"""Mobility models: timeline shape, determinism, trace loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.mobility import (
+    CommuterTides,
+    VehicularCorridor,
+    build_model,
+    load_trace_timeline,
+)
+from repro.scenarios.spec import MobilitySpec, ScenarioError
+
+HORIZON = 10_000.0
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestCommuterTides:
+    def test_morning_moves_edge_to_core_evening_reverses(self):
+        timeline = CommuterTides().timeline(40, 6, HORIZON, _rng())
+        edge = set(range(3))
+        core = set(range(3, 6))
+        assert all(cell in edge for cell in timeline.initial_cells)
+        morning = [e for e in timeline.handovers if e.time_s < 0.5 * HORIZON]
+        evening = [e for e in timeline.handovers if e.time_s >= 0.5 * HORIZON]
+        assert morning and evening
+        assert all(
+            e.from_cell in edge and e.to_cell in core for e in morning
+        )
+        assert all(
+            e.from_cell in core and e.to_cell in edge for e in evening
+        )
+
+    def test_windows_bound_handover_times(self):
+        model = CommuterTides(morning=(0.1, 0.2), evening=(0.8, 0.9))
+        timeline = model.timeline(30, 4, HORIZON, _rng(3))
+        for event in timeline.handovers:
+            frac = event.time_s / HORIZON
+            assert 0.1 <= frac <= 0.2 or 0.8 <= frac <= 0.9
+
+    def test_non_commuters_stay_home(self):
+        model = CommuterTides(commuter_fraction=0.5)
+        timeline = model.timeline(100, 4, HORIZON, _rng(1))
+        movers = {e.user for e in timeline.handovers}
+        assert 0 < len(movers) < 100
+
+    def test_timeline_is_internally_consistent(self):
+        CommuterTides().timeline(25, 6, HORIZON, _rng(7)).validate()
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ScenarioError, match="windows"):
+            CommuterTides(morning=(0.5, 0.4))
+        with pytest.raises(ScenarioError, match="commuter_fraction"):
+            CommuterTides(commuter_fraction=0.0)
+
+
+class TestVehicularCorridor:
+    def test_each_vehicle_hands_over_in_cell_order(self):
+        timeline = VehicularCorridor().timeline(5, 6, HORIZON, _rng())
+        timeline.validate()
+        assert all(cell == 0 for cell in timeline.initial_cells)
+        for vehicle in range(5):
+            chain = [e for e in timeline.handovers if e.user == vehicle]
+            hops = [(e.from_cell, e.to_cell) for e in chain]
+            assert hops == [(i, i + 1) for i in range(len(hops))]
+            times = [e.time_s for e in chain]
+            assert times == sorted(times)
+
+    def test_chains_from_different_vehicles_interleave(self):
+        timeline = VehicularCorridor().timeline(8, 5, HORIZON, _rng(2))
+        order = [e.user for e in timeline.handovers]
+        # Sorted globally by time, the per-vehicle chains interleave —
+        # the stream is not one vehicle's full chain after another's.
+        assert order != sorted(order)
+
+    def test_dwell_validation(self):
+        with pytest.raises(ScenarioError, match="depart"):
+            VehicularCorridor(depart=(0.9, 0.2))
+        with pytest.raises(ScenarioError, match="dwell_fraction"):
+            VehicularCorridor(dwell_fraction=0.0)
+
+
+def test_models_are_deterministic_per_generator_state():
+    for model in (CommuterTides(), VehicularCorridor()):
+        a = model.timeline(20, 4, HORIZON, _rng(11))
+        b = model.timeline(20, 4, HORIZON, _rng(11))
+        assert a.handovers == b.handovers
+        assert a.initial_cells == b.initial_cells
+
+
+def test_build_model_dispatch():
+    assert isinstance(
+        build_model(MobilitySpec(model="commuter-tides")), CommuterTides
+    )
+    assert isinstance(
+        build_model(MobilitySpec(model="vehicular-corridor")),
+        VehicularCorridor,
+    )
+
+
+class TestTraceLoader:
+    def test_loads_jsonl_attachment_log(self, tmp_path):
+        rows = [
+            {"t": 0.0, "user": "a", "cell": 0},
+            {"t": 0.0, "user": "b", "cell": 1},
+            {"t": 50.0, "user": "a", "cell": 2},
+            {"t": 80.0, "user": "a", "cell": 1},
+            {"t": 90.0, "user": "b", "cell": 2},
+        ]
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(__import__("json").dumps(r) for r in rows))
+        timeline = load_trace_timeline(str(path))
+        timeline.validate()
+        assert timeline.n_cells == 3
+        assert list(timeline.initial_cells) == [0, 1]
+        assert [(e.time_s, e.user, e.from_cell, e.to_cell) for e in timeline.handovers] == [
+            (50.0, 0, 0, 2),
+            (80.0, 0, 2, 1),
+            (90.0, 1, 1, 2),
+        ]
+
+    def test_trace_model_runs_through_spec(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t": 0, "user": "u", "cell": 0}\n')
+        model = build_model(MobilitySpec(model="trace", trace_path=str(path)))
+        timeline = model.timeline(1, 2, 100.0, _rng())
+        assert list(timeline.initial_cells) == [0]
+
+    def test_bad_rows_are_rejected_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 0, "user": "u"}\n')
+        with pytest.raises(ScenarioError, match="bad.jsonl:1"):
+            load_trace_timeline(str(path))

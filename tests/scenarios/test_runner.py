@@ -1,0 +1,97 @@
+"""Scenario runner end-to-end: packs run clean and score correctly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    build_named,
+    run_named,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One shared commuter-failure-smoke run (module-scoped: the run is
+    the expensive part; every assertion here is read-only)."""
+    return run_named("commuter-failure-smoke", seed=42)
+
+
+class TestCommuterFailureSmoke:
+    def test_zero_lost_and_leaked(self, smoke_report):
+        assert smoke_report.lost_slices == []
+        assert smoke_report.leaked_reservations == []
+        assert smoke_report.clean
+
+    def test_dc_outage_heals_by_restoration(self, smoke_report):
+        dc = [o for o in smoke_report.outage_detail if o["kind"] == "dc"]
+        assert len(dc) == 1 and dc[0]["healed"]
+        # The DC attachment has no detour: convergence must span the
+        # outage window, it cannot beat the restoration.
+        assert dc[0]["convergence_s"] >= dc[0]["end_s"] - dc[0]["start_s"]
+
+    def test_link_outage_bites_and_heals(self, smoke_report):
+        assert smoke_report.outages == 2
+        assert smoke_report.outages_healed == 2
+        assert smoke_report.sla_violations > 0  # the DC window hurt
+
+    def test_mobility_produced_handovers_and_rescales(self, smoke_report):
+        assert smoke_report.handovers > 0
+        assert smoke_report.rescales_applied > 0
+        assert len(smoke_report.handover_latency_ms) == smoke_report.handovers
+        assert smoke_report.handover_p95_ms >= smoke_report.handover_p50_ms >= 0.0
+
+    def test_admission_yield_and_counts(self, smoke_report):
+        assert smoke_report.submitted == 2  # 1 tenant x 2 cells
+        assert smoke_report.admitted + smoke_report.rejected == 2
+        assert 0.0 < smoke_report.admission_yield <= 1.0
+
+    def test_report_serialises(self, smoke_report):
+        payload = smoke_report.to_dict()
+        assert payload["digest"] == smoke_report.digest
+        assert payload["clean"] is True
+        assert payload["outage_detail"]
+        # Wall-clock fields are reported but never hashed.
+        assert "wall_s" in payload
+        assert "wall_s" not in smoke_report.deterministic_dict()
+        assert "handover_p50_ms" not in smoke_report.deterministic_dict()
+
+
+def test_vehicular_pack_runs_clean():
+    report = run_named("vehicular-corridor", seed=42)
+    assert report.clean
+    assert report.outages_healed == report.outages == 1
+    assert report.handovers > 0
+
+
+def test_quiet_pack_has_no_outage_machinery():
+    report = run_named("commuter-quiet", seed=1)
+    assert report.clean
+    assert report.outages == 0
+    assert report.heal_convergence_s == []
+    assert report.sla_violations == 0
+
+
+def test_overrides_reach_the_spec():
+    report = run_named("commuter-quiet", seed=1, horizon_s=900.0)
+    assert report.horizon_s == 900.0
+    with pytest.raises(Exception, match="unknown override"):
+        run_named("commuter-quiet", seed=1, bogus=1)
+
+
+def test_runner_rejects_invalid_spec():
+    spec = build_named("commuter-quiet", seed=0)
+    payload = spec.to_dict()
+    payload["tenants"] = []
+    with pytest.raises(Exception, match="at least one tenant"):
+        ScenarioRunner(ScenarioSpec.from_dict(payload))
+
+
+def test_timeline_records_every_event_kind(smoke_report):
+    kinds = {entry[1] for entry in smoke_report.timeline}
+    assert {"submit", "handover", "rescale", "failure.strike",
+            "failure.restore"} <= kinds
+    times = [entry[0] for entry in smoke_report.timeline]
+    assert times == sorted(times)

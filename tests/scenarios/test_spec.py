@@ -1,0 +1,110 @@
+"""Scenario spec: validation, serialisation round-trips, named packs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.spec import (
+    FailureSpec,
+    MobilitySpec,
+    ScenarioError,
+    ScenarioSpec,
+    TenantSpec,
+    build_named,
+    load_scenario_file,
+    named_scenarios,
+)
+
+
+def _minimal_spec(**overrides) -> ScenarioSpec:
+    payload = {
+        "name": "t",
+        "horizon_s": 1_200.0,
+        "n_enbs": 2,
+        "tenants": [{"tenant_id": "a"}],
+        "mobility": {"model": "commuter-tides", "n_users": 4},
+    }
+    payload.update(overrides)
+    return ScenarioSpec.from_dict(payload)
+
+
+def test_round_trip_through_dict():
+    spec = build_named("commuter-failure", seed=3)
+    clone = ScenarioSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.canonical_json() == spec.canonical_json()
+
+
+def test_round_trip_through_json_file(tmp_path):
+    spec = build_named("vehicular-corridor", seed=9)
+    path = tmp_path / "pack.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    assert load_scenario_file(str(path)) == spec
+
+
+def test_named_registry_contains_flagship_packs():
+    names = named_scenarios()
+    assert "commuter-failure" in names
+    assert "commuter-failure-smoke" in names
+    assert "vehicular-corridor" in names
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        build_named("no-such-pack")
+
+
+def test_seed_is_the_only_difference_between_builds():
+    a, b = build_named("commuter-failure", 1), build_named("commuter-failure", 2)
+    assert a.seed == 1 and b.seed == 2
+    assert a.to_dict() | {"seed": 2} == b.to_dict()
+
+
+@pytest.mark.parametrize(
+    "overrides, match",
+    [
+        ({"tenants": []}, "at least one tenant"),
+        ({"n_enbs": 1}, "edge/core split"),
+        ({"rescale_hysteresis": 1.0}, "hysteresis"),
+        (
+            {"tenants": [{"tenant_id": "a"}, {"tenant_id": "a"}]},
+            "duplicate tenant",
+        ),
+        ({"mobility": {"model": "warp-drive"}}, "unknown mobility model"),
+        ({"mobility": {"model": "trace"}}, "requires trace_path"),
+        ({"bogus_field": 1}, "unknown scenario fields"),
+    ],
+)
+def test_validation_rejects_bad_specs(overrides, match):
+    with pytest.raises(ScenarioError, match=match):
+        _minimal_spec(**overrides)
+
+
+def test_failures_must_restore_inside_the_horizon():
+    with pytest.raises(ScenarioError, match="restore inside the horizon"):
+        _minimal_spec(
+            failures=[
+                {"kind": "link", "target": "enb1-mmwave", "start_s": 1_000.0,
+                 "duration_s": 500.0}
+            ]
+        )
+    with pytest.raises(ScenarioError, match="unknown failure kind"):
+        FailureSpec("meteor", "earth", 10.0, 5.0).validate(1_000.0)
+
+
+def test_enb_failure_target_must_exist_in_fleet():
+    with pytest.raises(ScenarioError, match="outside the .*fleet"):
+        _minimal_spec(
+            failures=[
+                {"kind": "enb", "target": "enb7", "start_s": 100.0,
+                 "duration_s": 50.0}
+            ]
+        )
+
+
+def test_tenant_and_mobility_validation():
+    with pytest.raises(ScenarioError, match="base_mbps_per_user"):
+        TenantSpec(tenant_id="a", base_mbps_per_user=0.0).validate()
+    with pytest.raises(ScenarioError, match="min_mbps"):
+        TenantSpec(tenant_id="a", min_mbps=9.0, max_mbps=3.0).validate()
+    with pytest.raises(ScenarioError, match="n_users"):
+        MobilitySpec(model="commuter-tides", n_users=0).validate()
